@@ -1,0 +1,231 @@
+"""Benches A1-A6 — ablations of the design choices DESIGN.md calls out."""
+
+from __future__ import annotations
+
+from conftest import archive, bench_params
+
+from repro.experiments.ablations import (
+    ablation_guard_band,
+    ablation_idle_slot_skipping,
+    ablation_multislot,
+    ablation_predictors,
+    ablation_rotation_fairness,
+    ablation_sl_units,
+)
+from repro.metrics.report import format_table
+
+PARAMS = bench_params()
+
+
+def _archive_dict(name: str, title: str, data: dict) -> None:
+    rows = [[k, v] for k, v in data.items()]
+    archive(name, format_table(["setting", "value"], rows, title=title))
+
+
+def test_ablation_a1_sl_units(benchmark):
+    data = benchmark.pedantic(
+        ablation_sl_units, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    _archive_dict("ablation_a1_sl_units", "A1 - SL units vs all-to-all efficiency", data)
+    # more scheduling logic units help the churn-bound workload
+    assert data[2] > data[1]
+    assert data[4] > data[2]
+
+
+def test_ablation_a2_multislot(benchmark):
+    data = benchmark.pedantic(
+        ablation_multislot, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    _archive_dict("ablation_a2_multislot", "A2 - multi-slot elephant flow", data)
+    # two slots instead of one: close to 2x faster
+    assert data["speedup"] > 1.6
+
+
+def test_ablation_a3_predictors(benchmark):
+    data = benchmark.pedantic(
+        ablation_predictors, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    _archive_dict("ablation_a3_predictors", "A3 - eviction predictors on sequential mesh", data)
+    # latching predictors beat releasing immediately on reused connections
+    assert data["timeout-2us"] > data["none"]
+    assert data["counter-512"] > data["none"]
+
+
+def test_ablation_a4_guard_band(benchmark):
+    data = benchmark.pedantic(
+        ablation_guard_band, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    _archive_dict("ablation_a4_guard_band", "A4 - guard band fraction", data)
+    assert data[0.0] > data[0.05] > data[0.10]
+
+
+def test_ablation_a5_rotation(benchmark):
+    data = benchmark.pedantic(
+        ablation_rotation_fairness, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    _archive_dict("ablation_a5_rotation", "A5 - priority rotation", data)
+    assert data["round-robin_efficiency"] > data["fixed_efficiency"]
+
+
+def test_ablation_a6_idle_slot_skipping(benchmark):
+    data = benchmark.pedantic(
+        ablation_idle_slot_skipping, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    _archive_dict("ablation_a6_idle_skip", "A6 - idle slot skipping", data)
+    assert data["skip"] >= data["no-skip"] * 0.99
+
+
+def test_ablation_a7_multihop(benchmark):
+    """A7 — the conclusion's multi-hop claim, quantified (model-based)."""
+    from repro.metrics.report import format_table
+    from repro.networks.multihop import MultiHopModel
+
+    def sweep():
+        model = MultiHopModel(PARAMS, msg_bytes=512, k=4)
+        return model.sweep((1, 2, 4, 8))
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    archive(
+        "ablation_a7_multihop",
+        format_table(
+            [
+                "hops",
+                "TDM 1st msg (ns)",
+                "TDM cached (ns)",
+                "wormhole (ns)",
+                "TDM stream eff",
+                "worm stream eff",
+                "worm buffers (B)",
+            ],
+            [
+                [
+                    r.hops,
+                    round(r.tdm_first_message_ns, 1),
+                    round(r.tdm_cached_message_ns, 1),
+                    round(r.wormhole_message_ns, 1),
+                    round(r.tdm_stream_efficiency, 3),
+                    round(r.wormhole_stream_efficiency, 3),
+                    r.wormhole_buffer_bytes,
+                ]
+                for r in rows
+            ],
+            title="A7 - multi-hop: passive pipes vs per-hop arbitration",
+        ),
+    )
+    # cached TDM messages beat wormhole at every hop count; the gap widens
+    gaps = [r.wormhole_message_ns - r.tdm_cached_message_ns for r in rows]
+    assert all(g > 0 for g in gaps)
+    assert gaps[-1] > gaps[0]
+    # and wormhole needs buffering that grows with the path
+    assert rows[-1].wormhole_buffer_bytes > rows[0].wormhole_buffer_bytes
+
+
+def test_ablation_a8_multiplexing_degree(benchmark):
+    from repro.experiments.ablations import ablation_multiplexing_degree
+
+    data = benchmark.pedantic(
+        ablation_multiplexing_degree, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    from repro.metrics.report import format_table
+
+    archive(
+        "ablation_a8_degree",
+        format_table(
+            ["K", "efficiency", "scheduler kLEs"],
+            [[k, round(v["efficiency"], 3), round(v["kilo_les"], 1)] for k, v in data.items()],
+            title="A8 - multiplexing degree: efficiency vs area",
+        ),
+    )
+    # caching the 4-destination working set needs K >= 4
+    assert data[4]["efficiency"] > data[1]["efficiency"]
+    assert data[4]["efficiency"] > data[2]["efficiency"]
+    # area grows with K regardless
+    assert data[16]["kilo_les"] > data[4]["kilo_les"] > data[1]["kilo_les"]
+
+
+def test_ablation_a9_prefetching(benchmark):
+    from repro.experiments.ablations import ablation_prefetching
+
+    data = benchmark.pedantic(
+        ablation_prefetching, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    _archive_dict(
+        "ablation_a9_prefetch", "A9 - Markov next-connection prefetching", data
+    )
+    # perfect accuracy and a clear win on the predictable pattern ...
+    assert data["ordered_accuracy"] > 0.95
+    assert data["ordered_prefetch"] > 1.1 * data["ordered_base"]
+    # ... while random order defeats the predictor and costs ~nothing
+    assert data["random_accuracy"] < 0.6
+    assert data["random_prefetch"] > 0.9 * data["random_base"]
+
+
+def test_ablation_a10_fabrics(benchmark):
+    from repro.experiments.ablations import ablation_fabrics
+
+    data = benchmark.pedantic(
+        ablation_fabrics, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    _archive_dict(
+        "ablation_a10_fabrics", "A10 - fabric constraints under identical traffic", data
+    )
+    # the crossbar is the least constrained fabric
+    assert data["crossbar"] >= data["omega"]
+    assert data["crossbar"] >= data["fat-tree-4to1"]
+
+
+def test_ablation_a11_cooperative_control(benchmark):
+    """A11 — the conclusion's future work: compiler + predictor + scheduler.
+
+    Finding: prefetching *alone* can lose efficiency (speculative latches
+    compete with live traffic for slot capacity), but once the compiler's
+    preloaded registers carry the static pattern, the predictor's
+    coverage of the repeating dynamic remainder is a clear win — the
+    combination is the best stack.
+    """
+    from repro.experiments.ablations import ablation_cooperative_control
+
+    data = benchmark.pedantic(
+        ablation_cooperative_control, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    _archive_dict(
+        "ablation_a11_cooperative", "A11 - cooperative control stacks", data
+    )
+    assert data["compiler"] >= data["dynamic"]
+    assert data["compiler+prefetch"] > data["compiler"]
+    assert data["compiler+prefetch"] == max(data.values())
+
+
+def test_ablation_a12_injection_window(benchmark):
+    """A12 — sensitivity of the narrated orderings to the injection window."""
+    from repro.experiments.ablations import ablation_injection_window
+    from repro.metrics.report import format_table
+
+    data = benchmark.pedantic(
+        ablation_injection_window, kwargs=dict(params=PARAMS), rounds=1, iterations=1
+    )
+    archive(
+        "ablation_a12_window",
+        format_table(
+            ["window", "a2a dyn", "a2a/wormhole", "scatter dyn", "scatter/wormhole"],
+            [
+                [
+                    k,
+                    round(v["alltoall_dyn"], 3),
+                    round(v["alltoall_vs_wormhole"], 3),
+                    round(v["scatter_dyn"], 3),
+                    round(v["scatter_vs_wormhole"], 3),
+                ]
+                for k, v in data.items()
+            ],
+            title="A12 - injection-window sensitivity of the key orderings",
+        ),
+    )
+    # the Two Phase inversion (dynamic TDM below wormhole on all-to-all)
+    # holds at EVERY window depth ...
+    for v in data.values():
+        assert v["alltoall_vs_wormhole"] < 1.0
+    # ... while scatter needs a window of >= 4 outstanding sends for
+    # dynamic TDM to reach its preload-like plateau above wormhole
+    assert data["W=4"]["scatter_vs_wormhole"] > 1.0
+    assert data["W=1"]["scatter_vs_wormhole"] < 1.0

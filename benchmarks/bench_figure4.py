@@ -1,0 +1,75 @@
+"""Bench F4 — the four panels of Figure 4.
+
+Each bench sweeps message sizes 8..2048 bytes over the paper's four
+switching schemes (wormhole, circuit, dynamic TDM K=4, preload TDM K=4)
+for one traffic pattern, prints the efficiency series — the data behind
+the corresponding panel of Figure 4 — and asserts the paper's narrated
+orderings at full scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import archive, bench_params
+
+from repro.experiments.figure4 import MESSAGE_SIZES, run_figure4
+
+PARAMS = bench_params()
+
+
+def _panel(benchmark, pattern: str):
+    result = benchmark.pedantic(
+        run_figure4,
+        kwargs=dict(params=PARAMS, patterns=(pattern,), sizes=MESSAGE_SIZES),
+        rounds=1,
+        iterations=1,
+    )
+    archive(f"figure4_{pattern}", result.format())
+    return result
+
+
+def test_figure4_scatter(benchmark):
+    result = _panel(benchmark, "scatter")
+    eff = lambda scheme, size: result.efficiency("scatter", scheme, size)
+    # notable increase between 32 and 64 bytes, then a plateau
+    assert eff("preload", 64) > 1.5 * eff("preload", 32)
+    assert eff("preload", 2048) >= 0.9 * eff("preload", 64)
+    # preload and dynamic are "very similar" on scatter
+    for size in (64, 512, 2048):
+        assert abs(eff("preload", size) - eff("dynamic-tdm", size)) < 0.25 * eff(
+            "preload", size
+        )
+
+
+def test_figure4_random_mesh(benchmark):
+    result = _panel(benchmark, "random-mesh")
+    eff = lambda scheme, size: result.efficiency("random-mesh", scheme, size)
+    # both TDM variants beat wormhole and circuit switching
+    for size in (64, 128, 256):
+        assert eff("dynamic-tdm", size) > eff("wormhole", size)
+        assert eff("preload", size) > eff("wormhole", size)
+        assert eff("dynamic-tdm", size) > eff("circuit", size)
+    # circuit switching improves when messages are large
+    assert eff("circuit", 2048) > 2 * eff("circuit", 64)
+
+
+def test_figure4_ordered_mesh(benchmark):
+    result = _panel(benchmark, "ordered-mesh")
+    eff = lambda scheme, size: result.efficiency("ordered-mesh", scheme, size)
+    # the highly predictable pattern is preload's home turf
+    for size in (64, 256, 2048):
+        assert eff("preload", size) == max(
+            eff(s, size) for s in ("preload", "dynamic-tdm", "wormhole", "circuit")
+        )
+
+
+def test_figure4_two_phase(benchmark):
+    result = _panel(benchmark, "two-phase")
+    eff = lambda scheme, size: result.efficiency("two-phase", scheme, size)
+    # preload does better than the rest; dynamic TDM drops below wormhole
+    for size in (64, 128):
+        assert eff("preload", size) == max(
+            eff(s, size) for s in ("preload", "dynamic-tdm", "wormhole", "circuit")
+        )
+        assert eff("dynamic-tdm", size) < eff("wormhole", size)

@@ -1,0 +1,42 @@
+"""Bench F5 — Figure 5: combining preload with dynamic scheduling.
+
+Multiplexing degree 3; k of the slots preload the static pattern while
+3-k schedule dynamic traffic; traffic determinism sweeps 50-100 %.
+Prints the efficiency series per k and asserts the paper's two claims:
+1-preload holds its own at 50 % determinism, and from 85 % determinism
+the 2-preload scheme clearly wins.
+"""
+
+from __future__ import annotations
+
+from conftest import archive, bench_params
+
+from repro.experiments.figure5 import DETERMINISM_SWEEP, run_figure5
+
+PARAMS = bench_params()
+
+
+def test_figure5_hybrid_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_figure5,
+        kwargs=dict(
+            params=PARAMS, determinism=DETERMINISM_SWEEP, messages_per_node=64
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    archive("figure5", result.format())
+
+    # the 1-preload/2-dynamic scheme keeps pace with pure dynamic even at
+    # 50 % determinism ...
+    assert result.efficiency(1, 0.5) > 0.9 * result.efficiency(0, 0.5)
+    # ... and beats it outright from 60 % on
+    for det in (0.6, 0.7, 0.8, 0.9, 1.0):
+        assert result.efficiency(1, det) > result.efficiency(0, det)
+    # from 85 % determinism the 2-preload scheme takes the lead, clearing
+    # 10 % by 90 % (the paper's crossover claim)
+    for det in (0.85, 0.9, 0.95):
+        assert result.efficiency(2, det) > result.efficiency(1, det)
+    assert result.efficiency(2, 0.9) > 1.10 * result.efficiency(1, 0.9)
+    # full determinism: preloading dominates pure dynamic
+    assert result.efficiency(2, 1.0) > 1.2 * result.efficiency(0, 1.0)

@@ -1,0 +1,36 @@
+"""Bench L1 — load-latency curves (extension, methodology of [1]).
+
+Mean message latency vs offered load under uniform Poisson traffic at
+128 ports, for wormhole, circuit switching, and dynamic TDM.
+"""
+
+from __future__ import annotations
+
+from conftest import archive, bench_params
+
+from repro.experiments.loadlatency import run_load_latency
+
+PARAMS = bench_params()
+
+
+def test_load_latency_curves(benchmark):
+    result = benchmark.pedantic(
+        run_load_latency,
+        kwargs=dict(params=PARAMS, duration_ns=10_000.0),
+        rounds=1,
+        iterations=1,
+    )
+    archive("load_latency", result.format())
+
+    # wormhole owns the zero-load regime (no slot alignment) ...
+    assert result.latency("wormhole", 0.1) < result.latency("dynamic-tdm", 0.1)
+    # ... but TDM's cached connections degrade far more gracefully
+    assert result.latency("dynamic-tdm", 0.8) < result.latency("wormhole", 0.8)
+    # circuit switching pays its 240 ns handshake per message throughout
+    for load in (0.3, 0.5, 0.7):
+        assert result.latency("circuit", load) == max(
+            result.latency(s, load) for s in ("wormhole", "circuit", "dynamic-tdm")
+        )
+    # everything rises monotonically-ish toward saturation
+    for scheme, series in result.series.items():
+        assert series[-1] > series[0], scheme

@@ -1,0 +1,67 @@
+"""Microbenchmarks of the hot simulation kernels.
+
+Not paper artifacts — these guard the performance of the pieces the
+cycle-level simulations iterate millions of times: the Table-1 vectorised
+pre-scheduler, the sparse SL-array pass, the edge-colouring compiler, the
+event kernel, and a full small end-to-end run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compiled.coloring import decompose
+from repro.experiments.common import measure
+from repro.networks.tdm import TdmNetwork
+from repro.params import PAPER_PARAMS
+from repro.sched.presched import compute_l
+from repro.sim.engine import Simulator
+from repro.traffic.mesh import OrderedMeshPattern
+
+
+def test_presched_vectorised_128(benchmark):
+    n = 128
+    rng = np.random.default_rng(1)
+    r = rng.random((n, n)) < 0.2
+    b_s = np.zeros((n, n), dtype=bool)
+    b_star = np.zeros((n, n), dtype=bool)
+    res = benchmark(compute_l, r, b_s, b_star)
+    assert res.l.any()
+
+
+def test_edge_color_all_to_all_64(benchmark):
+    n = 64
+    conns = [(u, v) for u in range(n) for v in range(n) if u != v]
+    configs = benchmark.pedantic(decompose, args=(conns, n), rounds=3, iterations=1)
+    assert len(configs) == n - 1
+
+
+def test_event_kernel_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 10_000:
+                sim.schedule(100, tick)
+
+        sim.schedule(0, tick)
+        sim.run()
+        return state["n"]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_end_to_end_small_tdm_run(benchmark):
+    params = PAPER_PARAMS.with_overrides(n_ports=16)
+
+    def run():
+        return measure(
+            OrderedMeshPattern(16, 128, rounds=2),
+            TdmNetwork(params, k=4, mode="dynamic", injection_window=4),
+        )
+
+    point = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert point.efficiency > 0

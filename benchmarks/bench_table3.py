@@ -1,0 +1,48 @@
+"""Bench T3 — regenerate Table 3 (scheduler latency vs system size).
+
+The benchmarked quantity is the calibration + table generation itself;
+the artifact (the latency table, FPGA model vs paper values vs derived
+ASIC numbers) is printed and archived.  A companion microbenchmark times
+one functional SL-array pass at each size, demonstrating that the
+*simulated* scheduler really is the N-linear structure the latency model
+describes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import archive
+
+from repro.experiments.table3 import format_table3, run_table3
+from repro.hw.synth import PAPER_SIZES
+from repro.params import PAPER_PARAMS
+from repro.sched.presched import compute_l
+from repro.sched.slarray import wavefront_sparse
+
+
+def test_table3_regeneration(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=3, iterations=1)
+    assert len(rows) == len(PAPER_SIZES)
+    for row in rows:
+        assert abs(row["error_ns"]) < 3.0
+    archive("table3", format_table3(rows))
+
+
+@pytest.mark.parametrize("n", [16, 64, 128])
+def test_sl_array_pass_runtime(benchmark, n):
+    """Functional runtime of one full-request SL pass at size n."""
+    rng = np.random.default_rng(0)
+    r = rng.random((n, n)) < 0.5
+    np.fill_diagonal(r, False)
+    b_s = np.zeros((n, n), dtype=bool)
+    b_star = np.zeros((n, n), dtype=bool)
+
+    def one_pass():
+        pres = compute_l(r, b_s, b_star)
+        rows, cols = np.nonzero(pres.l)
+        return wavefront_sparse(rows, cols, b_s, b_s.any(0), b_s.any(1))
+
+    outcome = benchmark(one_pass)
+    assert len(outcome.established) > 0

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Compiled communication on a NAS-like multi-phase program.
+
+The scenario from Sections 3.1/3.3 of the paper: a scientific program
+alternates stencil exchanges, global transposes, reductions, and a little
+unpredictable traffic.  A compiler that knows each phase's communication
+pattern can
+
+1. compute the phase's *optimal multiplexing degree* (the maximum port
+   degree of its connection set — König's theorem),
+2. compile the connection set into that many crossbar configurations
+   (bipartite edge colouring), and
+3. preload them, so the network never pays run-time scheduling for the
+   statically-known traffic.
+
+This example compiles every phase of a synthetic NAS-like trace, prints
+the per-phase analysis, then runs the whole program under dynamic
+scheduling and under hybrid preload+dynamic and compares makespans.
+
+Run:  python examples/compiled_communication.py
+"""
+
+from repro import PAPER_PARAMS, TdmNetwork
+from repro.compiled.patterns import StaticPattern
+from repro.compiled.phases import working_set_series
+from repro.metrics.efficiency import efficiency
+from repro.sim.rng import RngStreams
+from repro.traffic.nas import NasLikeTrace
+
+
+def main() -> None:
+    params = PAPER_PARAMS.with_overrides(n_ports=32)
+    trace = NasLikeTrace(
+        params.n_ports, size_bytes=128, n_phases=6, rounds_per_phase=2
+    )
+
+    print("=== compile-time analysis ===")
+    phases = trace.phases(RngStreams(42))
+    for phase in phases:
+        pattern = StaticPattern(params.n_ports, phase.static_conns)
+        configs = pattern.compile()
+        print(
+            f"{phase.name:22s} |C|={len(pattern):4d}  optimal k={pattern.degree:3d}"
+            f"  -> {len(configs)} configurations"
+            f"  ({len(phase.messages)} messages)"
+        )
+
+    # the sliding working-set over the whole program (Section 2's W(j))
+    conn_trace = [(m.src, m.dst) for p in phases for m in p.messages]
+    series = working_set_series(conn_trace, window=64)
+    print(
+        f"\nworking set over a 64-message window: "
+        f"min={min(series)}, max={max(series)} connections"
+    )
+
+    print("\n=== execution comparison ===")
+
+    def compiler_pass(phases, k_preload: int, max_batches: int = 1):
+        """The compiler's preload decision per phase.
+
+        A working set is only worth preloading if it (nearly) fits the
+        pinned registers — cycling many batches through them serialises
+        traffic that dynamic scheduling would overlap.  Phases whose
+        compiled program would exceed ``max_batches`` are left entirely to
+        the dynamic scheduler (their static info is erased).
+        """
+        for phase in phases:
+            degree = StaticPattern(params.n_ports, phase.static_conns).degree
+            if degree > k_preload * max_batches:
+                phase.static_conns = set()
+                phase.preload_configs = None
+        return phases
+
+    for label, factory, compile_filter in (
+        (
+            "dynamic TDM (K=6)",
+            lambda: TdmNetwork(params, k=6, mode="dynamic", injection_window=4),
+            False,
+        ),
+        (
+            "hybrid 4-preload/2-dynamic",
+            lambda: TdmNetwork(
+                params,
+                k=6,
+                mode="hybrid",
+                k_preload=4,
+                injection_window=4,
+                flush_on_phase=True,  # Section 3.3's compiler flush
+            ),
+            True,
+        ),
+    ):
+        fresh = trace.phases(RngStreams(42))  # identical workload
+        if compile_filter:
+            fresh = compiler_pass(fresh, k_preload=4)
+        result = factory().run(fresh, pattern_name=trace.name)
+        eff = efficiency(result, fresh)
+        print(
+            f"{label:28s} makespan={result.makespan_ps / 1e6:8.1f} us"
+            f"  efficiency={eff:.3f}"
+            f"  establishments={result.counters.get('establishes', 0)}"
+        )
+
+    print(
+        "\nThe hybrid run preloads the stencil phases (their working set fits"
+        "\nthe 4 pinned registers exactly) and leaves transposes, reductions"
+        "\nand broadcasts to the dynamic scheduler — those are bottlenecked by"
+        "\na single port, so no preload schedule could speed them up."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <artifact>``.
+
+Regenerates any paper artifact from the shell::
+
+    python -m repro table3
+    python -m repro figure4 --patterns scatter --sizes 8,64,512
+    python -m repro figure5 --ports 64
+    python -m repro ablations --only a1,a4
+    python -m repro multihop --bytes 512 --hops 1,2,4,8
+
+``--ports`` scales the system (the paper uses 128; smaller is faster),
+``--seed`` changes the workload realisation, ``--csv`` switches figure
+output to machine-readable CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments.ablations import (
+    ablation_cooperative_control,
+    ablation_injection_window,
+    ablation_fabrics,
+    ablation_guard_band,
+    ablation_idle_slot_skipping,
+    ablation_multiplexing_degree,
+    ablation_multislot,
+    ablation_predictors,
+    ablation_prefetching,
+    ablation_rotation_fairness,
+    ablation_sl_units,
+)
+from .experiments.common import DEFAULT_SEED
+from .experiments.figure4 import MESSAGE_SIZES, run_figure4
+from .experiments.figure5 import DETERMINISM_SWEEP, run_figure5
+from .experiments.loadlatency import LOADS, run_load_latency
+from .experiments.reporting import run_all
+from .experiments.table3 import format_table3
+from .metrics.report import format_table
+from .networks.multihop import MultiHopModel
+from .params import PAPER_PARAMS, SystemParams
+
+__all__ = ["main"]
+
+_ABLATIONS = {
+    "a1": ("SL units", ablation_sl_units),
+    "a2": ("multi-slot connections", ablation_multislot),
+    "a3": ("eviction predictors", ablation_predictors),
+    "a4": ("guard band", ablation_guard_band),
+    "a5": ("priority rotation", ablation_rotation_fairness),
+    "a6": ("idle-slot skipping", ablation_idle_slot_skipping),
+    "a8": ("multiplexing degree", ablation_multiplexing_degree),
+    "a9": ("Markov prefetching", ablation_prefetching),
+    "a10": ("fabric constraints", ablation_fabrics),
+    "a11": ("cooperative control", ablation_cooperative_control),
+    "a12": ("injection window sensitivity", ablation_injection_window),
+}
+
+
+def _params(args: argparse.Namespace) -> SystemParams:
+    return PAPER_PARAMS.with_overrides(n_ports=args.ports)
+
+
+def _csv_list(text: str) -> list[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    print(format_table3())
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    sizes = tuple(int(s) for s in _csv_list(args.sizes)) if args.sizes else MESSAGE_SIZES
+    patterns = tuple(_csv_list(args.patterns)) if args.patterns else None
+    schemes = tuple(_csv_list(args.schemes)) if args.schemes else None
+    result = run_figure4(
+        params=_params(args),
+        sizes=sizes,
+        patterns=patterns,
+        schemes=schemes,
+        seed=args.seed,
+    )
+    if args.csv:
+        for pattern in result.series:
+            print(f"# {pattern}")
+            print(result.csv(pattern))
+    else:
+        print(result.format())
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    determinism = (
+        tuple(float(d) for d in _csv_list(args.determinism))
+        if args.determinism
+        else DETERMINISM_SWEEP
+    )
+    result = run_figure5(
+        params=_params(args),
+        determinism=determinism,
+        messages_per_node=args.messages,
+        seed=args.seed,
+    )
+    print(result.csv() if args.csv else result.format())
+    return 0
+
+
+def _cmd_ablations(args: argparse.Namespace) -> int:
+    wanted = _csv_list(args.only) if args.only else list(_ABLATIONS)
+    params = _params(args)
+    for key in wanted:
+        if key not in _ABLATIONS:
+            print(f"unknown ablation {key!r}; choose from {sorted(_ABLATIONS)}")
+            return 2
+        title, fn = _ABLATIONS[key]
+        data = fn(params=params, seed=args.seed)
+        rows = [[k, v] for k, v in data.items()]
+        print(format_table(["setting", "value"], rows, title=f"{key.upper()} — {title}"))
+    return 0
+
+
+def _cmd_load_latency(args: argparse.Namespace) -> int:
+    loads = (
+        tuple(float(x) for x in _csv_list(args.loads)) if args.loads else LOADS
+    )
+    result = run_load_latency(
+        params=_params(args),
+        loads=loads,
+        size_bytes=args.bytes,
+        duration_ns=args.duration_ns,
+        seed=args.seed,
+    )
+    print(result.csv() if args.csv else result.format())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    text = run_all(params=_params(args), quick=args.quick, seed=args.seed)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_multihop(args: argparse.Namespace) -> int:
+    hops = tuple(int(h) for h in _csv_list(args.hops))
+    model = MultiHopModel(_params(args), msg_bytes=args.bytes, k=args.k)
+    rows = model.sweep(hops)
+    print(
+        format_table(
+            ["hops", "TDM 1st (ns)", "TDM cached (ns)", "wormhole (ns)",
+             "TDM eff", "worm eff", "worm buffers (B)"],
+            [
+                [r.hops, round(r.tdm_first_message_ns, 1),
+                 round(r.tdm_cached_message_ns, 1),
+                 round(r.wormhole_message_ns, 1),
+                 round(r.tdm_stream_efficiency, 3),
+                 round(r.wormhole_stream_efficiency, 3),
+                 r.wormhole_buffer_bytes]
+                for r in rows
+            ],
+            title=f"Multi-hop comparison ({args.bytes}-byte messages)",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artifacts from 'Switch Design to Enable "
+        "Predictive Multiplexed Switching in Multiprocessor Networks' (IPPS 2005)",
+    )
+    from . import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument("--ports", type=int, default=128, help="system size (default 128)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="workload seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table3", help="scheduler latency vs system size").set_defaults(
+        fn=_cmd_table3
+    )
+
+    f4 = sub.add_parser("figure4", help="pattern x scheme x size efficiency sweep")
+    f4.add_argument("--sizes", help="comma-separated byte sizes (default: paper sweep)")
+    f4.add_argument("--patterns", help="scatter,random-mesh,ordered-mesh,two-phase")
+    f4.add_argument("--schemes", help="wormhole,circuit,dynamic-tdm,preload")
+    f4.add_argument("--csv", action="store_true", help="CSV output")
+    f4.set_defaults(fn=_cmd_figure4)
+
+    f5 = sub.add_parser("figure5", help="hybrid preload vs determinism sweep")
+    f5.add_argument("--determinism", help="comma-separated fractions (default: paper sweep)")
+    f5.add_argument("--messages", type=int, default=64, help="messages per node")
+    f5.add_argument("--csv", action="store_true", help="CSV output")
+    f5.set_defaults(fn=_cmd_figure5)
+
+    ab = sub.add_parser("ablations", help="design-choice ablations (a1-a6, a8-a12)")
+    ab.add_argument("--only", help="subset, e.g. a1,a4")
+    ab.set_defaults(fn=_cmd_ablations)
+
+    ll = sub.add_parser("load-latency", help="load vs latency curves (extension L1)")
+    ll.add_argument("--loads", help="comma-separated offered loads (default sweep)")
+    ll.add_argument("--bytes", type=int, default=128, help="message size")
+    ll.add_argument("--duration-ns", type=float, default=10_000.0, help="injection window")
+    ll.add_argument("--csv", action="store_true", help="CSV output")
+    ll.set_defaults(fn=_cmd_load_latency)
+
+    rp = sub.add_parser("report", help="regenerate every artifact as one markdown report")
+    rp.add_argument("--quick", action="store_true", help="reduced grid for smoke tests")
+    rp.add_argument("--output", help="write to this file instead of stdout")
+    rp.set_defaults(fn=_cmd_report)
+
+    mh = sub.add_parser("multihop", help="multi-hop TDM vs wormhole model (A7)")
+    mh.add_argument("--bytes", type=int, default=512, help="message size")
+    mh.add_argument("--hops", default="1,2,4,8", help="comma-separated hop counts")
+    mh.add_argument("--k", type=int, default=4, help="multiplexing degree")
+    mh.set_defaults(fn=_cmd_multihop)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

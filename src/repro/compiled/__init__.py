@@ -1,0 +1,52 @@
+"""Compiled communication: connection-set compilation and preload programs."""
+
+from .coloring import connection_degree, decompose, edge_color, verify_coloring
+from .directives import (
+    Directive,
+    FlushDirective,
+    LoadBatchDirective,
+    PreloadProgram,
+)
+from .frontend import (
+    AllToAll,
+    CompiledPhase,
+    CompiledSchedule,
+    Comm,
+    Gather,
+    Loop,
+    Scatter,
+    Seq,
+    Shift,
+    Stencil,
+    Unknown,
+    compile_program,
+)
+from .patterns import StaticPattern
+from .phases import partition_by_degree, phase_boundaries, working_set_series
+
+__all__ = [
+    "connection_degree",
+    "decompose",
+    "edge_color",
+    "verify_coloring",
+    "Directive",
+    "FlushDirective",
+    "LoadBatchDirective",
+    "PreloadProgram",
+    "AllToAll",
+    "CompiledPhase",
+    "CompiledSchedule",
+    "Comm",
+    "Gather",
+    "Loop",
+    "Scatter",
+    "Seq",
+    "Shift",
+    "Stencil",
+    "Unknown",
+    "compile_program",
+    "StaticPattern",
+    "partition_by_degree",
+    "phase_boundaries",
+    "working_set_series",
+]

@@ -1,0 +1,143 @@
+"""Decomposing connection sets into crossbar configurations.
+
+Section 2 of the paper: *"decompose the set of connections C into a number
+of sets C1 .. Ck such that each Ci can be realized in the network without
+conflict ... it is imperative to keep k as small as possible."*
+
+For a crossbar, a conflict-free set is a partial permutation, so the
+minimal decomposition of a connection set ``C`` is a proper **edge
+colouring** of the bipartite graph (inputs, outputs, C).  By König's
+theorem the chromatic index of a bipartite graph equals its maximum degree
+Δ, so the optimal multiplexing degree for ``C`` is exactly
+
+    k(C) = max_port max(out_degree, in_degree).
+
+:func:`edge_color` implements the classical alternating-path (Kempe chain)
+algorithm, which colours any bipartite graph with exactly Δ colours in
+O(E · V) time; :func:`decompose` wraps it to return
+:class:`~repro.fabric.config.ConfigMatrix` objects ready for preloading.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Iterable
+
+import numpy as np
+
+from ..errors import ConfigurationError, InvariantError
+from ..fabric.config import ConfigMatrix
+
+__all__ = ["connection_degree", "edge_color", "decompose", "verify_coloring"]
+
+
+def connection_degree(conns: Collection[tuple[int, int]], n: int) -> int:
+    """The maximum port degree Δ of a connection set — its optimal k."""
+    out_deg = np.zeros(n, dtype=np.int64)
+    in_deg = np.zeros(n, dtype=np.int64)
+    for u, v in conns:
+        out_deg[u] += 1
+        in_deg[v] += 1
+    if len(conns) == 0:
+        return 0
+    return int(max(out_deg.max(), in_deg.max()))
+
+
+def edge_color(
+    conns: Iterable[tuple[int, int]], n: int
+) -> dict[tuple[int, int], int]:
+    """Proper edge colouring of the bipartite connection graph.
+
+    Returns a colour index in ``[0, Δ)`` for each connection such that no
+    two connections sharing an input or an output port receive the same
+    colour.  Duplicate connections are rejected (a connection set is a set).
+    """
+    edges = list(conns)
+    if len(set(edges)) != len(edges):
+        raise ConfigurationError("duplicate connections in the set")
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise ConfigurationError(f"connection ({u},{v}) out of range")
+    delta = connection_degree(edges, n)
+    if delta == 0:
+        return {}
+    # free_in[u, c] == colour c unused at input u (and symmetrically).
+    # partner arrays let us walk Kempe chains in O(1) per step:
+    #   in_match[u, c]  = output v with edge (u,v) coloured c, else -1
+    #   out_match[v, c] = input u with edge (u,v) coloured c, else -1
+    in_match = np.full((n, delta), -1, dtype=np.int64)
+    out_match = np.full((n, delta), -1, dtype=np.int64)
+    color: dict[tuple[int, int], int] = {}
+
+    def first_free(match_row: np.ndarray) -> int:
+        free = np.nonzero(match_row < 0)[0]
+        if len(free) == 0:  # pragma: no cover - König guarantees a free colour
+            raise InvariantError("no free colour at a port with degree < Δ")
+        return int(free[0])
+
+    for u, v in edges:
+        cu = first_free(in_match[u])
+        cv = first_free(out_match[v])
+        if cu == cv:
+            c = cu
+        else:
+            # Flip the Kempe chain alternating cu/cv starting from output v:
+            # v --cu--> u1 --cv--> v1 --cu--> u2 ...  The path can reach
+            # neither u (cu is free there) nor v again (cv is free there),
+            # so after swapping colours along it, cu is free at both ends.
+            chain: list[tuple[int, int, int]] = []  # (input, output, old colour)
+            out_node = v
+            while True:
+                in_node = int(out_match[out_node, cu])
+                if in_node < 0:
+                    break
+                chain.append((in_node, out_node, cu))
+                out_node_next = int(in_match[in_node, cv])
+                if out_node_next < 0:
+                    break
+                chain.append((in_node, out_node_next, cv))
+                out_node = out_node_next
+            # Un-assign the chain, then re-assign with swapped colours.
+            for iu, ov, old in chain:
+                in_match[iu, old] = -1
+                out_match[ov, old] = -1
+            for iu, ov, old in chain:
+                new = cv if old == cu else cu
+                color[(iu, ov)] = new
+                in_match[iu, new] = ov
+                out_match[ov, new] = iu
+            c = cu
+        color[(u, v)] = c
+        in_match[u, c] = v
+        out_match[v, c] = u
+    return color
+
+
+def decompose(conns: Iterable[tuple[int, int]], n: int) -> list[ConfigMatrix]:
+    """Split a connection set into Δ conflict-free configurations.
+
+    The returned list has exactly ``connection_degree(conns, n)`` entries,
+    each a valid partial permutation; their union is the input set.
+    """
+    edges = list(conns)
+    coloring = edge_color(edges, n)
+    delta = connection_degree(edges, n)
+    configs = [ConfigMatrix(n) for _ in range(delta)]
+    for (u, v), c in coloring.items():
+        configs[c].establish(u, v)
+    return configs
+
+
+def verify_coloring(
+    coloring: dict[tuple[int, int], int], edges: Collection[tuple[int, int]]
+) -> bool:
+    """Check the colouring is proper and covers exactly ``edges``."""
+    if set(coloring) != set(edges):
+        return False
+    seen_in: set[tuple[int, int]] = set()
+    seen_out: set[tuple[int, int]] = set()
+    for (u, v), c in coloring.items():
+        if (u, c) in seen_in or (v, c) in seen_out:
+            return False
+        seen_in.add((u, c))
+        seen_out.add((v, c))
+    return True

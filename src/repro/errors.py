@@ -1,0 +1,59 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of the simulator with a single ``except``
+clause while still being able to distinguish configuration mistakes from
+runtime invariant violations.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InvariantError",
+    "SchedulingError",
+    "SimulationError",
+    "TrafficError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied parameter or configuration object is invalid.
+
+    Raised eagerly at construction time (e.g. a crossbar configuration
+    matrix with two connections sharing an output port, a negative link
+    rate, or a multiplexing degree of zero).
+    """
+
+
+class InvariantError(ReproError, AssertionError):
+    """An internal invariant was violated.
+
+    These indicate bugs in the library (or deliberate fault injection in
+    tests), never user error.
+    """
+
+
+class SchedulingError(ReproError):
+    """The scheduler was asked to perform an impossible action.
+
+    For example loading a configuration into a slot index that does not
+    exist, or releasing a connection that is not established.
+    """
+
+
+class SimulationError(ReproError):
+    """The event engine was misused (e.g. scheduling an event in the past)."""
+
+
+class TrafficError(ReproError, ValueError):
+    """A traffic pattern was parameterised inconsistently.
+
+    For example a 2-D mesh pattern on a node count that is not a perfect
+    rectangle, or a scatter source outside the port range.
+    """

@@ -1,0 +1,98 @@
+"""Shared experiment plumbing.
+
+An experiment point runs one (pattern, scheme) pair and reports the
+bandwidth efficiency of Figures 4/5.  Two rules keep comparisons honest:
+
+* the workload realisation is regenerated from the same master seed for
+  every scheme, so all schemes see byte-identical traffic;
+* efficiency always uses the scheme-independent bottleneck lower bound
+  (:mod:`repro.metrics.efficiency`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..metrics.efficiency import efficiency_from_bound, run_lower_bound_ps
+from ..networks.base import BaseNetwork, RunResult
+from ..networks.circuit import CircuitNetwork
+from ..networks.tdm import TdmNetwork
+from ..networks.wormhole import WormholeNetwork
+from ..params import SystemParams
+from ..sim.rng import RngStreams
+from ..traffic.base import TrafficPattern
+
+__all__ = [
+    "ExperimentPoint",
+    "measure",
+    "figure4_schemes",
+    "DEFAULT_SEED",
+]
+
+DEFAULT_SEED = 20050404  # IPPS 2005 in Denver started April 4
+
+
+@dataclass(slots=True, frozen=True)
+class ExperimentPoint:
+    """Outcome of one (pattern, scheme) simulation."""
+
+    scheme: str
+    pattern: str
+    size_bytes: int
+    efficiency: float
+    makespan_ps: int
+    lower_bound_ps: int
+    total_bytes: int
+    counters: dict[str, int]
+
+
+def measure(
+    pattern: TrafficPattern,
+    network: BaseNetwork,
+    seed: int = DEFAULT_SEED,
+) -> ExperimentPoint:
+    """Run ``pattern`` through ``network`` and compute its efficiency."""
+    phases = pattern.phases(RngStreams(seed))
+    bound = run_lower_bound_ps(phases, network.params)
+    result: RunResult = network.run(phases, pattern_name=pattern.name)
+    return ExperimentPoint(
+        scheme=network.scheme,
+        pattern=pattern.name,
+        size_bytes=pattern.size_bytes,
+        efficiency=efficiency_from_bound(bound, result.makespan_ps),
+        makespan_ps=result.makespan_ps,
+        lower_bound_ps=bound,
+        total_bytes=result.total_bytes,
+        counters=result.counters,
+    )
+
+
+#: default per-NIC bound on outstanding non-blocking sends.  The paper's
+#: processors are sequential command-file generators; a window equal to the
+#: multiplexing degree (4) reproduces its narrated orderings (see DESIGN.md)
+DEFAULT_INJECTION_WINDOW = 4
+
+
+def figure4_schemes(
+    params: SystemParams,
+    k: int = 4,
+    injection_window: int | None = DEFAULT_INJECTION_WINDOW,
+) -> dict[str, Callable[[], BaseNetwork]]:
+    """The four switching schemes Figure 4 compares, as fresh factories.
+
+    The TDM entries use multiplexing degree ``k`` (the paper uses 4) and
+    the given injection window.  Wormhole and circuit switching serve each
+    source's messages strictly in order, so the window does not apply to
+    them.
+    """
+    return {
+        "wormhole": lambda: WormholeNetwork(params),
+        "circuit": lambda: CircuitNetwork(params),
+        "dynamic-tdm": lambda: TdmNetwork(
+            params, k=k, mode="dynamic", injection_window=injection_window
+        ),
+        "preload": lambda: TdmNetwork(
+            params, k=k, mode="preload", injection_window=injection_window
+        ),
+    }

@@ -1,0 +1,114 @@
+"""Experiment F4: the Figure 4 sweep.
+
+Four traffic patterns x four switching schemes x message sizes 8..2048
+bytes, reporting bandwidth efficiency.  The paper's own reading of its
+figure (checked by the integration tests):
+
+* **Scatter** — sharp efficiency rise between 32 and 64 bytes, then a
+  plateau out to 2048 (the 80-byte slot quantisation); preload and dynamic
+  TDM nearly identical.
+* **Random Mesh** — both TDM variants beat wormhole and circuit, and sit
+  within ~10 % of each other; circuit improves with message size.
+* **Ordered Mesh** — preload wins; dynamic TDM close (the 4-destination
+  working set fits the degree-4 cache).
+* **Two Phase** — preload wins; dynamic TDM falls below wormhole (the
+  all-to-all phase thrashes a degree-4 dynamically-scheduled cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..metrics.report import format_csv, format_series
+from ..params import PAPER_PARAMS, SystemParams
+from ..traffic.base import TrafficPattern
+from ..traffic.mesh import OrderedMeshPattern, RandomMeshPattern
+from ..traffic.scatter import ScatterPattern
+from ..traffic.twophase import TwoPhasePattern
+from .common import DEFAULT_SEED, ExperimentPoint, figure4_schemes, measure
+
+__all__ = [
+    "MESSAGE_SIZES",
+    "figure4_patterns",
+    "Figure4Result",
+    "run_figure4",
+]
+
+#: the paper sweeps message sizes from 8 to 2048 bytes
+MESSAGE_SIZES: tuple[int, ...] = (8, 16, 32, 64, 128, 256, 512, 1024, 2048)
+
+
+def figure4_patterns(
+    params: SystemParams, mesh_rounds: int = 4, nn_rounds: int = 16
+) -> dict[str, Callable[[int], TrafficPattern]]:
+    """The four panels of Figure 4 as size -> pattern factories."""
+    n = params.n_ports
+    return {
+        "scatter": lambda size: ScatterPattern(n, size),
+        "random-mesh": lambda size: RandomMeshPattern(n, size, rounds=mesh_rounds),
+        "ordered-mesh": lambda size: OrderedMeshPattern(n, size, rounds=mesh_rounds),
+        "two-phase": lambda size: TwoPhasePattern(n, size, nn_rounds=nn_rounds),
+    }
+
+
+@dataclass
+class Figure4Result:
+    """Efficiency series per pattern per scheme, aligned with ``sizes``."""
+
+    sizes: tuple[int, ...]
+    series: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    points: list[ExperimentPoint] = field(default_factory=list)
+
+    def efficiency(self, pattern: str, scheme: str, size: int) -> float:
+        return self.series[pattern][scheme][self.sizes.index(size)]
+
+    def format(self) -> str:
+        out = []
+        for pattern, schemes in self.series.items():
+            out.append(
+                format_series(
+                    "bytes",
+                    list(self.sizes),
+                    schemes,
+                    title=f"Figure 4 — {pattern} (bandwidth efficiency)",
+                )
+            )
+        return "\n".join(out)
+
+    def csv(self, pattern: str) -> str:
+        return format_csv("bytes", list(self.sizes), self.series[pattern])
+
+
+def run_figure4(
+    params: SystemParams = PAPER_PARAMS,
+    sizes: Sequence[int] = MESSAGE_SIZES,
+    patterns: Sequence[str] | None = None,
+    schemes: Sequence[str] | None = None,
+    k: int = 4,
+    mesh_rounds: int = 4,
+    nn_rounds: int = 16,
+    seed: int = DEFAULT_SEED,
+) -> Figure4Result:
+    """Run (a subset of) the Figure 4 sweep.
+
+    ``patterns``/``schemes`` restrict the grid (None = everything); the
+    benchmarks run panels separately so each appears as its own bench.
+    """
+    pattern_factories = figure4_patterns(params, mesh_rounds, nn_rounds)
+    scheme_factories = figure4_schemes(params, k=k)
+    wanted_patterns = list(patterns or pattern_factories)
+    wanted_schemes = list(schemes or scheme_factories)
+    result = Figure4Result(sizes=tuple(sizes))
+    for pattern_name in wanted_patterns:
+        make_pattern = pattern_factories[pattern_name]
+        result.series[pattern_name] = {}
+        for scheme_name in wanted_schemes:
+            make_network = scheme_factories[scheme_name]
+            series: list[float] = []
+            for size in sizes:
+                point = measure(make_pattern(size), make_network(), seed=seed)
+                series.append(point.efficiency)
+                result.points.append(point)
+            result.series[pattern_name][scheme_name] = series
+    return result

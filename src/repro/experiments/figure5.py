@@ -1,0 +1,106 @@
+"""Experiment F5: the Figure 5 hybrid preload/dynamic sweep.
+
+Paper, Section 5: multiplexing degree 3; ``k`` of the slots preload the
+static patterns while the other ``3 - k`` schedule dynamic traffic;
+``k`` varies from 0 to 2 while the traffic's *determinism* (fraction of
+messages going to each node's specific static partners) sweeps 50–100 %.
+
+Expected shape (integration-tested): 1-preload/2-dynamic beats the pure
+dynamic scheme across the sweep, and from ~85 % determinism the
+2-preload/1-dynamic scheme wins by more than 10 % — the paper's argument
+that an 85 %-accurate predictor already pays for itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..metrics.report import format_csv, format_series
+from ..networks.tdm import TdmNetwork
+from ..params import PAPER_PARAMS, SystemParams
+from ..traffic.hybrid import HybridPattern
+from .common import DEFAULT_SEED, ExperimentPoint, measure
+
+__all__ = ["DETERMINISM_SWEEP", "Figure5Result", "run_figure5"]
+
+#: determinism fractions swept in Figure 5
+DETERMINISM_SWEEP: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0)
+
+
+@dataclass
+class Figure5Result:
+    """Efficiency per preload count ``k``, aligned with ``determinism``."""
+
+    determinism: tuple[float, ...]
+    k_total: int
+    series: dict[str, list[float]] = field(default_factory=dict)
+    points: list[ExperimentPoint] = field(default_factory=list)
+
+    def efficiency(self, k_preload: int, det: float) -> float:
+        key = self._key(k_preload)
+        return self.series[key][self.determinism.index(det)]
+
+    def _key(self, k_preload: int) -> str:
+        return f"{k_preload}-preload/{self.k_total - k_preload}-dynamic"
+
+    def format(self) -> str:
+        return format_series(
+            "determinism",
+            list(self.determinism),
+            self.series,
+            title=f"Figure 5 — hybrid preload (K={self.k_total})",
+        )
+
+    def csv(self) -> str:
+        return format_csv("determinism", list(self.determinism), self.series)
+
+
+def run_figure5(
+    params: SystemParams = PAPER_PARAMS,
+    determinism: Sequence[float] = DETERMINISM_SWEEP,
+    k_total: int = 3,
+    k_preloads: Sequence[int] = (0, 1, 2),
+    size_bytes: int = 64,
+    messages_per_node: int = 32,
+    n_static: int = 2,
+    injection_window: int | None = 4,
+    seed: int = DEFAULT_SEED,
+) -> Figure5Result:
+    """Run the Figure 5 sweep.
+
+    ``size_bytes`` defaults to 64 (one slot per message, the regime where
+    scheduling overheads — the thing the sweep studies — dominate).
+    """
+    result = Figure5Result(determinism=tuple(determinism), k_total=k_total)
+    for k_preload in k_preloads:
+        key = result._key(k_preload)
+        series: list[float] = []
+        for det in determinism:
+            pattern = HybridPattern(
+                params.n_ports,
+                size_bytes,
+                determinism=det,
+                messages_per_node=messages_per_node,
+                n_static=n_static,
+            )
+            if k_preload == 0:
+                network = TdmNetwork(
+                    params,
+                    k=k_total,
+                    mode="dynamic",
+                    injection_window=injection_window,
+                )
+            else:
+                network = TdmNetwork(
+                    params,
+                    k=k_total,
+                    mode="hybrid",
+                    k_preload=k_preload,
+                    injection_window=injection_window,
+                )
+            point = measure(pattern, network, seed=seed)
+            series.append(point.efficiency)
+            result.points.append(point)
+        result.series[key] = series
+    return result

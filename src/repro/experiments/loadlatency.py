@@ -1,0 +1,91 @@
+"""Extension experiment L1: load–latency curves.
+
+Not a paper artifact — the standard switch characterisation from the
+literature the paper builds on (its reference [1]): mean message latency
+versus offered load under uniform Poisson traffic, for each switching
+scheme.  The expected shapes:
+
+* **wormhole** has the lowest zero-load latency (no slot alignment) but
+  saturates at the per-worm arbitration cap (~0.67 of capacity for
+  128-byte worms);
+* **dynamic TDM** pays the slot-alignment and establishment overheads at
+  zero load, but its cached connections push saturation higher;
+* **circuit switching** pays the full 240 ns handshake per message and
+  saturates earliest for small messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..metrics.latencies import summarize_latencies
+from ..metrics.report import format_csv, format_series
+from ..networks.base import BaseNetwork
+from ..networks.circuit import CircuitNetwork
+from ..networks.tdm import TdmNetwork
+from ..networks.wormhole import WormholeNetwork
+from ..params import PAPER_PARAMS, SystemParams
+from ..sim.rng import RngStreams
+from ..traffic.openloop import OpenLoopUniformPattern
+from .common import DEFAULT_SEED
+
+__all__ = ["LOADS", "LoadLatencyResult", "run_load_latency"]
+
+LOADS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+@dataclass
+class LoadLatencyResult:
+    """Mean latency (ns) per scheme, aligned with ``loads``."""
+
+    loads: tuple[float, ...]
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def latency(self, scheme: str, load: float) -> float:
+        return self.series[scheme][self.loads.index(load)]
+
+    def format(self) -> str:
+        return format_series(
+            "load",
+            list(self.loads),
+            self.series,
+            title="Load vs mean latency (ns), uniform Poisson traffic",
+            precision=1,
+        )
+
+    def csv(self) -> str:
+        return format_csv("load", list(self.loads), self.series)
+
+
+def run_load_latency(
+    params: SystemParams = PAPER_PARAMS,
+    loads: Sequence[float] = LOADS,
+    size_bytes: int = 128,
+    duration_ns: float = 20_000.0,
+    k: int = 4,
+    seed: int = DEFAULT_SEED,
+) -> LoadLatencyResult:
+    """Sweep offered load for the three run-time schemes."""
+    factories: dict[str, type | object] = {
+        "wormhole": lambda: WormholeNetwork(params),
+        "circuit": lambda: CircuitNetwork(params),
+        "dynamic-tdm": lambda: TdmNetwork(params, k=k, mode="dynamic"),
+    }
+    result = LoadLatencyResult(loads=tuple(loads))
+    for scheme, factory in factories.items():
+        series: list[float] = []
+        for load in loads:
+            pattern = OpenLoopUniformPattern(
+                params.n_ports,
+                size_bytes,
+                load=load,
+                duration_ns=duration_ns,
+                byte_ps=params.byte_ps,
+            )
+            network: BaseNetwork = factory()
+            phases = pattern.phases(RngStreams(seed))
+            run = network.run(phases, pattern_name=pattern.name)
+            series.append(summarize_latencies(run).mean_ns)
+        result.series[scheme] = series
+    return result

@@ -1,0 +1,72 @@
+"""One-command reproduction report.
+
+:func:`run_all` regenerates every paper artifact (Table 3, the four
+Figure 4 panels, Figure 5) plus the load–latency extension and emits a
+single markdown report — the machine-generated counterpart of
+EXPERIMENTS.md.  ``python -m repro report`` writes it to stdout or a file.
+
+``quick=True`` runs a reduced grid (fewer sizes/points) for smoke-testing
+the pipeline; the default regenerates the full sweeps.
+"""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from ..params import PAPER_PARAMS, SystemParams
+from .common import DEFAULT_SEED
+from .figure4 import MESSAGE_SIZES, run_figure4
+from .figure5 import DETERMINISM_SWEEP, run_figure5
+from .loadlatency import LOADS, run_load_latency
+from .table3 import format_table3, run_table3
+
+__all__ = ["run_all"]
+
+
+def run_all(
+    params: SystemParams = PAPER_PARAMS,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+) -> str:
+    """Regenerate every artifact and return the markdown report."""
+    sizes = (32, 128, 512) if quick else MESSAGE_SIZES
+    determinism = (0.5, 0.85, 1.0) if quick else DETERMINISM_SWEEP
+    loads = (0.2, 0.6) if quick else LOADS
+    messages_per_node = 16 if quick else 64
+
+    out = StringIO()
+    out.write("# Reproduction report\n\n")
+    out.write(
+        f"system: {params.n_ports} ports, seed {seed}"
+        f"{' (quick grid)' if quick else ''}\n\n"
+    )
+
+    out.write("## Table 3 — scheduler latency vs system size\n\n```\n")
+    out.write(format_table3(run_table3()))
+    out.write("```\n\n")
+
+    out.write("## Figure 4 — efficiency vs message size\n\n```\n")
+    fig4 = run_figure4(params=params, sizes=sizes, seed=seed)
+    out.write(fig4.format())
+    out.write("\n```\n\n")
+
+    out.write("## Figure 5 — hybrid preload vs determinism\n\n```\n")
+    fig5 = run_figure5(
+        params=params,
+        determinism=determinism,
+        messages_per_node=messages_per_node,
+        seed=seed,
+    )
+    out.write(fig5.format())
+    out.write("```\n\n")
+
+    out.write("## L1 — load vs latency (extension)\n\n```\n")
+    ll = run_load_latency(
+        params=params,
+        loads=loads,
+        duration_ns=3_000.0 if quick else 10_000.0,
+        seed=seed,
+    )
+    out.write(ll.format())
+    out.write("```\n")
+    return out.getvalue()

@@ -1,0 +1,33 @@
+"""Experiment T3: regenerate Table 3 (scheduler latency vs system size)."""
+
+from __future__ import annotations
+
+from ..hw.synth import PAPER_SIZES, scheduler_latency_table
+from ..metrics.report import format_table
+
+__all__ = ["run_table3", "format_table3"]
+
+
+def run_table3(sizes: tuple[int, ...] = PAPER_SIZES) -> list[dict[str, float]]:
+    """The Table 3 rows: calibrated FPGA model vs paper, plus ASIC."""
+    return scheduler_latency_table(sizes)
+
+
+def format_table3(rows: list[dict[str, float]] | None = None) -> str:
+    """Render the regenerated Table 3 next to the paper's values."""
+    if rows is None:
+        rows = run_table3()
+    return format_table(
+        headers=["System size", "Model FPGA (ns)", "Paper (ns)", "Error (ns)", "ASIC 5x (ns)"],
+        rows=[
+            [
+                int(r["n"]),
+                round(r["fpga_ns"], 1),
+                r["paper_ns"],
+                round(r["error_ns"], 1),
+                round(r["asic_ns"], 1),
+            ]
+            for r in rows
+        ],
+        title="Table 3 — latency of the scheduling circuit",
+    )

@@ -1,0 +1,158 @@
+"""The configuration register file.
+
+Figure 2 of the paper: the scheduler maintains ``K`` configuration matrices
+``B(0) .. B(K-1)``, one per TDM slot, plus the aggregate matrix
+``B* = B(0) | ... | B(K-1)`` of *all* connections currently established in
+any slot.  ``B*`` feeds the pre-scheduling logic (Table 1).
+
+With the multi-slot extension (Section 4, extension 2) a connection may be
+present in more than one slot, so ``B*`` is maintained from an integer
+*count* matrix rather than recomputed by OR-ing K matrices on every pass.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError, InvariantError, SchedulingError
+from ..types import Connection
+from .config import ConfigMatrix
+
+__all__ = ["ConfigRegisterFile"]
+
+
+class ConfigRegisterFile:
+    """``K`` slot configurations plus incrementally maintained ``B*``."""
+
+    __slots__ = ("n", "k", "slots", "_counts", "pinned")
+
+    def __init__(self, n: int, k: int) -> None:
+        if k < 1:
+            raise ConfigurationError(f"multiplexing degree must be >= 1, got {k}")
+        self.n = n
+        self.k = k
+        self.slots: list[ConfigMatrix] = [ConfigMatrix(n) for _ in range(k)]
+        self._counts = np.zeros((n, n), dtype=np.int16)
+        #: slots the dynamic scheduler must not touch (preloaded patterns)
+        self.pinned: set[int] = set()
+
+    # -- slot access ----------------------------------------------------------
+
+    def __getitem__(self, slot: int) -> ConfigMatrix:
+        self._check_slot(slot)
+        return self.slots[slot]
+
+    def __iter__(self) -> Iterator[ConfigMatrix]:
+        return iter(self.slots)
+
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.k:
+            raise SchedulingError(f"slot {slot} out of range for K={self.k}")
+
+    # -- mutation (keeps B* in sync) -------------------------------------------
+
+    def establish(self, slot: int, u: int, v: int) -> None:
+        """Establish (u, v) in ``slot`` and bump its presence count."""
+        self._check_slot(slot)
+        self.slots[slot].establish(u, v)
+        self._counts[u, v] += 1
+
+    def release(self, slot: int, u: int, v: int) -> None:
+        """Release (u, v) from ``slot`` and decrement its presence count."""
+        self._check_slot(slot)
+        self.slots[slot].release(u, v)
+        self._counts[u, v] -= 1
+        if self._counts[u, v] < 0:  # pragma: no cover - guarded by release above
+            raise InvariantError("B* count went negative")
+
+    def toggle(self, slot: int, u: int, v: int) -> bool:
+        """Apply a scheduler T signal to (slot, u, v); True if now established."""
+        self._check_slot(slot)
+        if self.slots[slot].b[u, v]:
+            self.release(slot, u, v)
+            return False
+        self.establish(slot, u, v)
+        return True
+
+    def load(self, slot: int, config: ConfigMatrix, *, pin: bool = False) -> None:
+        """Overwrite ``slot`` with ``config`` (a preload directive).
+
+        ``pin=True`` marks the slot as owned by compiled communication so
+        the dynamic scheduler will neither add to nor release from it.
+        """
+        self._check_slot(slot)
+        old = self.slots[slot]
+        for u, v in old.connections():
+            self._counts[u, v] -= 1
+        old.load(config)
+        for u, v in old.connections():
+            self._counts[u, v] += 1
+        if pin:
+            self.pinned.add(slot)
+        else:
+            self.pinned.discard(slot)
+
+    def clear_slot(self, slot: int) -> None:
+        """Empty one slot (and unpin it)."""
+        self._check_slot(slot)
+        for u, v in self.slots[slot].connections():
+            self._counts[u, v] -= 1
+        self.slots[slot].clear()
+        self.pinned.discard(slot)
+
+    def flush(self) -> None:
+        """Empty every slot — the compiler's flush-all directive."""
+        for s in range(self.k):
+            self.clear_slot(s)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def b_star(self) -> np.ndarray:
+        """Boolean matrix of connections established in *any* slot."""
+        return self._counts > 0
+
+    def presence_counts(self) -> np.ndarray:
+        """How many slots each connection occupies (multi-slot extension)."""
+        return self._counts.copy()
+
+    def slot_of(self, u: int, v: int) -> int | None:
+        """The lowest slot holding (u, v), or None."""
+        for s, cfg in enumerate(self.slots):
+            if cfg.b[u, v]:
+                return s
+        return None
+
+    def slots_of(self, u: int, v: int) -> list[int]:
+        """All slots holding (u, v)."""
+        return [s for s, cfg in enumerate(self.slots) if cfg.b[u, v]]
+
+    def active_slots(self) -> list[int]:
+        """Indices of non-empty slots, in slot order (TDM counter input)."""
+        return [s for s, cfg in enumerate(self.slots) if not cfg.is_empty]
+
+    def dynamic_slots(self) -> list[int]:
+        """Slots the dynamic scheduler is allowed to modify."""
+        return [s for s in range(self.k) if s not in self.pinned]
+
+    def all_connections(self) -> set[Connection]:
+        """The set of distinct connections established anywhere."""
+        out: set[Connection] = set()
+        for cfg in self.slots:
+            out.update(cfg.connections())
+        return out
+
+    def check_invariants(self) -> None:
+        """Recompute B* from scratch and compare with the counts (test hook)."""
+        fresh = np.zeros((self.n, self.n), dtype=np.int16)
+        for cfg in self.slots:
+            cfg.check_invariants()
+            fresh += cfg.b
+        if not np.array_equal(fresh, self._counts):
+            raise InvariantError("B* count matrix out of sync with slot matrices")
+
+    def __repr__(self) -> str:
+        occ = [len(cfg) for cfg in self.slots]
+        return f"ConfigRegisterFile(n={self.n}, k={self.k}, occupancy={occ})"

@@ -1,0 +1,96 @@
+"""Fabric timing models.
+
+Section 5 of the paper distinguishes two physical crossbar technologies:
+
+* the **digital** crossbar used by the wormhole baseline — signals are
+  converted to the digital domain at the switch, adding a 10 ns propagation
+  delay per hop (plus SerDes at the switch boundary, which the paper folds
+  into that figure);
+* the **LVDS / optical** crossbar used by the circuit-switched and TDM
+  systems — signals stay in the differential/optical domain, the switch
+  adds "< 2 ns (equivalent to a 1 foot cable)" which the paper neglects,
+  and no SerDes is required at the switch.
+
+:class:`FabricTiming` captures one technology; the concrete values come
+from :class:`repro.params.SystemParams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import ConfigurationError
+from ..params import SystemParams
+
+__all__ = ["FabricTechnology", "FabricTiming"]
+
+
+class FabricTechnology(Enum):
+    """Physical realisation of the crossbar."""
+
+    DIGITAL = "digital"
+    LVDS = "lvds"
+    OPTICAL = "optical"
+
+
+@dataclass(slots=True, frozen=True)
+class FabricTiming:
+    """Per-technology latency contributions of the switch fabric.
+
+    Attributes
+    ----------
+    switch_hop_ps:
+        Propagation delay through the crossbar itself.
+    needs_switch_serdes:
+        Whether signals are converted serial<->parallel *at the switch*
+        (true only for the digital crossbar; the paper notes the LVDS
+        switch avoids this conversion entirely).
+    """
+
+    technology: FabricTechnology
+    switch_hop_ps: int
+    needs_switch_serdes: bool
+
+    def __post_init__(self) -> None:
+        if self.switch_hop_ps < 0:
+            raise ConfigurationError("switch hop delay must be non-negative")
+
+    @classmethod
+    def digital(cls, params: SystemParams) -> "FabricTiming":
+        """The wormhole baseline's digital crossbar (10 ns per hop).
+
+        The paper quotes a flat 10 ns propagation delay through the digital
+        switch and does not charge a separate SerDes there, so
+        ``needs_switch_serdes`` is False; the flag exists for experiments
+        that want to model the conversion explicitly.
+        """
+        return cls(FabricTechnology.DIGITAL, params.digital_switch_ps, False)
+
+    @classmethod
+    def lvds(cls, params: SystemParams) -> "FabricTiming":
+        """The TDM/circuit system's LVDS crossbar (delay neglected)."""
+        return cls(FabricTechnology.LVDS, params.lvds_switch_ps, False)
+
+    @classmethod
+    def optical(cls, params: SystemParams) -> "FabricTiming":
+        """All-optical fabric — same timing model as LVDS in the paper."""
+        return cls(FabricTechnology.OPTICAL, params.lvds_switch_ps, False)
+
+    def end_to_end_ps(self, params: SystemParams) -> int:
+        """Latency of one byte from source NIC to destination NIC.
+
+        NIC + SerDes + cable + switch (+ switch SerDes for digital fabrics)
+        + cable + SerDes + NIC.
+        """
+        serdes_at_switch = 2 * params.serdes_ps if self.needs_switch_serdes else 0
+        return (
+            params.nic_delay_ps
+            + params.serdes_ps
+            + params.cable_ps
+            + serdes_at_switch
+            + self.switch_hop_ps
+            + params.cable_ps
+            + params.serdes_ps
+            + params.nic_delay_ps
+        )

@@ -1,0 +1,31 @@
+"""Hardware model: gate delays, the Table-3 latency model, area estimates."""
+
+from .gates import GateLibrary, or_tree_depth, sl_critical_cells
+from .rtl import SLArrayNetlist, SLCellGates, sl_cell_logic
+from .synth import (
+    ASIC_SPEEDUP,
+    PAPER_SIZES,
+    PAPER_TABLE3_NS,
+    SchedulerAreaModel,
+    asic_library,
+    calibrate_library,
+    scheduler_latency_table,
+    stratix_library,
+)
+
+__all__ = [
+    "GateLibrary",
+    "SLArrayNetlist",
+    "SLCellGates",
+    "sl_cell_logic",
+    "or_tree_depth",
+    "sl_critical_cells",
+    "ASIC_SPEEDUP",
+    "PAPER_SIZES",
+    "PAPER_TABLE3_NS",
+    "SchedulerAreaModel",
+    "asic_library",
+    "calibrate_library",
+    "scheduler_latency_table",
+    "stratix_library",
+]

@@ -1,0 +1,79 @@
+"""Gate-level delay primitives for the scheduler latency model.
+
+The paper synthesised the scheduler in VHDL onto an Altera Stratix FPGA
+(EP1S25F1020C-5) and reported the end-to-end combinational latency for six
+system sizes (Table 3).  We model the same structure:
+
+* the pre-scheduling logic computes the port-availability vectors ``AO``
+  and ``AI`` with N-input OR trees — depth ``ceil(log2 N)`` gate levels;
+* the SL array's critical path is the availability wavefront: the worst
+  signal traverses a full column and then a full row, ``2N - 1`` SL cells;
+* a constant term covers register setup/clock-to-out, request multiplexing
+  and routing overhead.
+
+:func:`or_tree_depth` and :class:`GateLibrary` express those components;
+:mod:`repro.hw.synth` calibrates the three per-component delays against the
+published Table 3 values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["or_tree_depth", "sl_critical_cells", "GateLibrary"]
+
+
+def or_tree_depth(n: int) -> int:
+    """Gate levels of a balanced N-input OR tree (0 for a single input)."""
+    if n < 1:
+        raise ConfigurationError("OR tree needs at least one input")
+    return math.ceil(math.log2(n)) if n > 1 else 0
+
+
+def sl_critical_cells(n: int) -> int:
+    """SL modules on the array's critical path: a column plus a row."""
+    if n < 1:
+        raise ConfigurationError("SL array needs at least one port")
+    return 2 * n - 1
+
+
+@dataclass(slots=True, frozen=True)
+class GateLibrary:
+    """Per-component propagation delays of one technology, in picoseconds.
+
+    ``fixed_ps`` — registers, request muxing, I/O;
+    ``or_level_ps`` — one level of the AO/AI OR trees;
+    ``sl_cell_ps`` — one SL module (Table 2 logic plus its A/D forwarding).
+    """
+
+    name: str
+    fixed_ps: float
+    or_level_ps: float
+    sl_cell_ps: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("fixed_ps", "or_level_ps", "sl_cell_ps"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be non-negative")
+
+    def scheduler_latency_ps(self, n: int) -> float:
+        """Combinational latency of one N x N scheduler pass."""
+        return (
+            self.fixed_ps
+            + or_tree_depth(n) * self.or_level_ps
+            + sl_critical_cells(n) * self.sl_cell_ps
+        )
+
+    def scaled(self, factor: float, name: str | None = None) -> "GateLibrary":
+        """A technology ``factor``x faster (the paper's FPGA -> ASIC rule)."""
+        if factor <= 0:
+            raise ConfigurationError("scaling factor must be positive")
+        return GateLibrary(
+            name=name or f"{self.name}/{factor:g}x",
+            fixed_ps=self.fixed_ps / factor,
+            or_level_ps=self.or_level_ps / factor,
+            sl_cell_ps=self.sl_cell_ps / factor,
+        )

@@ -1,0 +1,123 @@
+"""Gate-level model of the SL array — the paper's VHDL, in boolean algebra.
+
+Figure 3 shows the SL module's signal ports (``L`` in, ``A``/``D``
+availability threaded through, ``T`` out), and Table 2's action column
+refers to the slot's configuration bit (``B(s)[u,v] 1 -> 0``): each module
+also reads the **configuration register cell sitting next to it**.  The
+cell reduces to two-level logic on four inputs:
+
+    release   = L and B                    (A = D = 1 is implied: the
+                                            cell's own connection is what
+                                            holds both ports)
+    establish = L and not B and not A and not D
+    T         = release or establish
+    A_out     = establish or (A and not release)
+    D_out     = establish or (D and not release)
+
+The ``B`` input is load-bearing: within one wavefront an *earlier*
+establish can raise a later candidate's ``A`` and ``D`` to 1 even though
+that candidate holds no connection — a cell deciding release from
+``L·A·D`` alone would toggle a phantom connection into the configuration.
+(The property test in ``tests/hw/test_rtl.py`` reproduces exactly that
+scenario; it is how this module's first draft was falsified.)
+
+:class:`SLCellGates` counts the cell's primitive gates; the totals feed
+:class:`repro.hw.synth.SchedulerAreaModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["sl_cell_logic", "SLCellGates", "SLArrayNetlist"]
+
+
+def sl_cell_logic(
+    l: bool, b: bool, a: bool, d: bool
+) -> tuple[bool, bool, bool]:
+    """One SL module: Table 2 as combinational logic.
+
+    Inputs: ``l`` (pre-scheduling change signal), ``b`` (the adjacent
+    configuration register bit), ``a``/``d`` (availability signals).
+    Returns ``(t, a_out, d_out)``.
+    """
+    release = l and b
+    establish = l and (not b) and (not a) and (not d)
+    t = release or establish
+    a_out = establish or (a and not release)
+    d_out = establish or (d and not release)
+    return t, a_out, d_out
+
+
+@dataclass(slots=True, frozen=True)
+class SLCellGates:
+    """Primitive-gate inventory of one SL module.
+
+    ``release``: one 2-input AND; ``establish``: one 4-input AND plus
+    three inverters; ``T``: one OR; each availability output: one AND,
+    one OR, one inverter for the shared ``not release`` literal.
+    """
+
+    and4: int = 1
+    and2: int = 3
+    or2: int = 3
+    inverters: int = 4
+
+    @property
+    def total_gates(self) -> int:
+        return self.and4 + self.and2 + self.or2 + self.inverters
+
+    def lut4_estimate(self) -> int:
+        """4-input LUTs: t/a_out/d_out each depend on (l, b, a, d)."""
+        return 3
+
+
+class SLArrayNetlist:
+    """The full N x N array evaluated as wired gate logic.
+
+    Signals flow exactly as in the paper: ``A`` enters row ``a`` of each
+    column (value ``AO``) and propagates upward; ``D`` enters column ``b``
+    of each row (value ``AI``) and propagates rightward; neither wraps
+    past its injection point.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError("netlist needs a positive port count")
+        self.n = n
+
+    def evaluate(
+        self,
+        l: np.ndarray,
+        b_s: np.ndarray,
+        ao: np.ndarray,
+        ai: np.ndarray,
+        rotation: tuple[int, int] = (0, 0),
+    ) -> np.ndarray:
+        """Propagate the combinational array; returns the T matrix."""
+        n = self.n
+        if l.shape != (n, n) or b_s.shape != (n, n):
+            raise ConfigurationError(f"L and B(s) must be {n}x{n}")
+        a_rot, b_rot = rotation[0] % n, rotation[1] % n
+        t_out = np.zeros((n, n), dtype=bool)
+        a_sig = np.asarray(ao, dtype=bool).copy()
+        for ui in range(n):
+            u = (a_rot + ui) % n
+            d_sig = bool(ai[u])
+            for vi in range(n):
+                v = (b_rot + vi) % n
+                t, a_next, d_next = sl_cell_logic(
+                    bool(l[u, v]), bool(b_s[u, v]), bool(a_sig[v]), d_sig
+                )
+                t_out[u, v] = t
+                a_sig[v] = a_next
+                d_sig = d_next
+        return t_out
+
+    def gate_count(self) -> int:
+        """Primitive gates in the whole array."""
+        return self.n * self.n * SLCellGates().total_gates

@@ -1,0 +1,46 @@
+"""Bandwidth efficiency — the y-axis of Figures 4 and 5.
+
+Efficiency of a run is the ratio of the contention-free lower bound to the
+achieved makespan:
+
+    efficiency = sum_phases LB(phase) / makespan
+
+with ``LB`` the bottleneck-port bound of
+:func:`repro.networks.ideal.bottleneck_lower_bound_ps`.  Phases are
+barriered, so their bounds add.  The ratio lies in (0, 1] for any correct
+simulation; 1.0 means the scheme kept the bottleneck link busy from the
+first byte to the last.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..networks.base import RunResult
+from ..networks.ideal import bottleneck_lower_bound_ps
+from ..params import SystemParams
+from ..traffic.base import TrafficPhase
+
+__all__ = ["run_lower_bound_ps", "efficiency", "efficiency_from_bound"]
+
+
+def run_lower_bound_ps(phases: list[TrafficPhase], params: SystemParams) -> int:
+    """Sum of per-phase bottleneck bounds (phases are barriered)."""
+    if not phases:
+        raise ConfigurationError("no phases to bound")
+    return sum(bottleneck_lower_bound_ps(p, params) for p in phases)
+
+
+def efficiency_from_bound(bound_ps: int, makespan_ps: int) -> float:
+    """The ratio LB / makespan, validated."""
+    if makespan_ps <= 0:
+        raise ConfigurationError("makespan must be positive")
+    if bound_ps <= 0:
+        raise ConfigurationError("lower bound must be positive")
+    return bound_ps / makespan_ps
+
+
+def efficiency(result: RunResult, phases: list[TrafficPhase]) -> float:
+    """Bandwidth efficiency of a finished run against its own workload."""
+    return efficiency_from_bound(
+        run_lower_bound_ps(phases, result.params), result.makespan_ps
+    )

@@ -1,0 +1,68 @@
+"""Fairness metrics.
+
+Rotating the SL array's priority injection point exists to keep the
+scheduler fair (end of Section 4); these helpers quantify it.  The main
+tool is **Jain's fairness index** over per-source allocations
+
+    J(x) = (sum x)^2 / (n * sum x^2),
+
+which is 1.0 when every source gets the same share and 1/n when one
+source gets everything.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..networks.base import RunResult
+
+__all__ = ["jain_index", "throughput_fairness", "latency_fairness"]
+
+
+def jain_index(allocations: Sequence[float]) -> float:
+    """Jain's fairness index of a non-negative allocation vector."""
+    x = np.asarray(allocations, dtype=float)
+    if x.size == 0:
+        raise ConfigurationError("fairness of an empty allocation is undefined")
+    if (x < 0).any():
+        raise ConfigurationError("allocations must be non-negative")
+    peak = x.max()
+    if peak == 0:
+        return 1.0  # everyone equally got nothing
+    x = x / peak  # scale invariance also guards subnormal underflow
+    total = x.sum()
+    return float(total * total / (x.size * (x * x).sum()))
+
+
+def throughput_fairness(result: RunResult) -> float:
+    """Jain index of per-source delivered bytes (sources that sent)."""
+    n = result.params.n_ports
+    bytes_out = np.zeros(n, dtype=np.int64)
+    for rec in result.records:
+        bytes_out[rec.src] += rec.size
+    active = bytes_out[bytes_out > 0]
+    if active.size == 0:
+        raise ConfigurationError("run delivered nothing")
+    return jain_index(active)
+
+
+def latency_fairness(result: RunResult) -> float:
+    """Jain index of the *reciprocal* per-source mean latency.
+
+    Reciprocals make "fast" the resource being shared, so a scheduler that
+    starves some sources (huge latencies) scores low.
+    """
+    n = result.params.n_ports
+    total = np.zeros(n, dtype=np.float64)
+    count = np.zeros(n, dtype=np.int64)
+    for rec in result.records:
+        total[rec.src] += rec.latency_ps
+        count[rec.src] += 1
+    mask = count > 0
+    if not mask.any():
+        raise ConfigurationError("run delivered nothing")
+    means = total[mask] / count[mask]
+    return jain_index(1.0 / means)

@@ -1,0 +1,47 @@
+"""Message latency statistics over run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..networks.base import RunResult
+from ..sim.stats import Histogram, OnlineStats
+
+__all__ = ["LatencySummary", "summarize_latencies"]
+
+
+@dataclass(slots=True, frozen=True)
+class LatencySummary:
+    """Per-run latency digest, all values in nanoseconds."""
+
+    count: int
+    mean_ns: float
+    p50_ns: float
+    p99_ns: float
+    max_ns: float
+    mean_service_ns: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean_ns:.1f}ns p50={self.p50_ns:.1f}ns "
+            f"p99={self.p99_ns:.1f}ns max={self.max_ns:.1f}ns"
+        )
+
+
+def summarize_latencies(result: RunResult, bin_ns: float = 50.0) -> LatencySummary:
+    """Digest the delivery records of one run."""
+    lat = Histogram(bin_width=bin_ns * 1000.0, n_bins=4096)
+    service = OnlineStats()
+    for r in result.records:
+        lat.add(float(r.latency_ps))
+        service.add(float(r.service_ps))
+    if lat.count == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return LatencySummary(
+        count=lat.count,
+        mean_ns=lat.mean / 1000.0,
+        p50_ns=lat.quantile(0.5) / 1000.0,
+        p99_ns=lat.quantile(0.99) / 1000.0,
+        max_ns=lat._stats.maximum / 1000.0,
+        mean_service_ns=service.mean / 1000.0,
+    )

@@ -1,0 +1,74 @@
+"""Fixed-width table and CSV series printers for experiment output.
+
+The benchmark harness prints each paper artifact as rows/series matching
+what the paper reports: Table 3 as a latency-vs-N table, Figures 4 and 5 as
+message-size (or determinism) series per scheme.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from io import StringIO
+
+__all__ = ["format_table", "format_series", "format_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    out = StringIO()
+    if title:
+        out.write(title + "\n")
+    sep = "-+-".join("-" * w for w in widths)
+    out.write(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)) + "\n")
+    out.write(sep + "\n")
+    for row in cells[1:]:
+        out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    precision: int = 3,
+) -> str:
+    """Render one figure as a table with the x axis first.
+
+    ``series`` maps a curve name (scheme) to its y values, aligned with
+    ``x_values`` — exactly the data a plot of the figure would show.
+    """
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            row.append(round(float(series[name][i]), precision))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_csv(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+) -> str:
+    """The same data as machine-readable CSV."""
+    out = StringIO()
+    out.write(",".join([x_label, *series]) + "\n")
+    for i, x in enumerate(x_values):
+        row = [str(x)] + [f"{float(series[name][i]):.6f}" for name in series]
+        out.write(",".join(row) + "\n")
+    return out.getvalue()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

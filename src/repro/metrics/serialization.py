@@ -1,0 +1,65 @@
+"""Run-result serialisation.
+
+Experiments that take minutes should not need re-running to be
+re-analysed.  :func:`save_result` writes a :class:`RunResult` (records,
+counters, phase timings, the parameters that produced it) as JSON;
+:func:`load_result` restores it.  Round-tripping is exact — integer
+picosecond times survive untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from ..networks.base import PhaseResult, RunResult
+from ..params import SystemParams
+from ..types import MessageRecord
+
+__all__ = ["save_result", "load_result", "result_to_dict", "result_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """A JSON-safe dictionary capturing the whole run result."""
+    return {
+        "format_version": _FORMAT_VERSION,
+        "scheme": result.scheme,
+        "pattern": result.pattern,
+        "params": dataclasses.asdict(result.params),
+        "makespan_ps": result.makespan_ps,
+        "total_bytes": result.total_bytes,
+        "counters": dict(result.counters),
+        "phases": [dataclasses.asdict(p) for p in result.phases],
+        "records": [dataclasses.asdict(r) for r in result.records],
+    }
+
+
+def result_from_dict(data: dict) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`result_to_dict` output."""
+    if data.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format {data.get('format_version')!r}"
+        )
+    return RunResult(
+        scheme=data["scheme"],
+        pattern=data["pattern"],
+        params=SystemParams(**data["params"]),
+        makespan_ps=data["makespan_ps"],
+        total_bytes=data["total_bytes"],
+        counters=dict(data["counters"]),
+        phases=[PhaseResult(**p) for p in data["phases"]],
+        records=[MessageRecord(**r) for r in data["records"]],
+    )
+
+
+def save_result(result: RunResult, path: str | Path) -> None:
+    """Write a run result as JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result)))
+
+
+def load_result(path: str | Path) -> RunResult:
+    """Read a run result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

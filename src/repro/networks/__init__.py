@@ -1,0 +1,21 @@
+"""Network models: the TDM system and the paper's comparison baselines."""
+
+from .base import BaseNetwork, PhaseResult, RunResult
+from .circuit import CircuitNetwork
+from .ideal import IdealNetwork, bottleneck_lower_bound_ps
+from .multihop import HopComparison, MultiHopModel
+from .tdm import TdmNetwork
+from .wormhole import WormholeNetwork
+
+__all__ = [
+    "BaseNetwork",
+    "PhaseResult",
+    "RunResult",
+    "CircuitNetwork",
+    "IdealNetwork",
+    "bottleneck_lower_bound_ps",
+    "HopComparison",
+    "MultiHopModel",
+    "TdmNetwork",
+    "WormholeNetwork",
+]

@@ -1,0 +1,201 @@
+"""Common machinery for the switching-scheme network models.
+
+Every scheme (wormhole, circuit, dynamic/preload/hybrid TDM) simulates the
+same physical plant — N NICs around one crossbar — and reports a
+:class:`RunResult`.  The base class owns the parts the paper holds constant
+across its comparison: message injection, the phase barrier (phase ``j+1``
+enters the NICs only after phase ``j`` fully drains, as in a
+bulk-synchronous program), byte-conservation accounting, and completion
+bookkeeping.  Subclasses implement :meth:`_execute_phase`, which must run
+the event loop until the injected phase has fully drained.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..nic.flow import FlowLedger
+from ..nic.nic import Nic
+from ..params import SystemParams
+from ..sim.engine import Priority, Simulator
+from ..sim.stats import OnlineStats
+from ..sim.trace import NULL_TRACER, Tracer
+from ..traffic.base import TrafficPhase
+from ..types import MessageRecord
+
+__all__ = ["PhaseResult", "RunResult", "BaseNetwork"]
+
+#: events per run safety valve (a 128-port millisecond-scale run stays far
+#: below this; hitting it means a scheduling livelock bug)
+MAX_EVENTS_PER_PHASE = 40_000_000
+
+
+@dataclass(slots=True)
+class PhaseResult:
+    """Timing of one traffic phase."""
+
+    name: str
+    start_ps: int
+    end_ps: int
+    bytes: int
+    messages: int
+
+    @property
+    def duration_ps(self) -> int:
+        return self.end_ps - self.start_ps
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation run produced."""
+
+    scheme: str
+    pattern: str
+    params: SystemParams
+    makespan_ps: int
+    total_bytes: int
+    records: list[MessageRecord]
+    phases: list[PhaseResult]
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput_bytes_per_ns(self) -> float:
+        if self.makespan_ps == 0:
+            return 0.0
+        return self.total_bytes * 1000.0 / self.makespan_ps
+
+    def latency_stats(self) -> OnlineStats:
+        stats = OnlineStats()
+        for r in self.records:
+            stats.add(r.latency_ps)
+        return stats
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult({self.scheme} on {self.pattern}: "
+            f"{self.total_bytes} B in {self.makespan_ps / 1000:.1f} ns)"
+        )
+
+
+class BaseNetwork(ABC):
+    """Shared simulation scaffolding for all switching schemes."""
+
+    #: scheme label used in reports ("wormhole", "circuit", "tdm-dynamic", ...)
+    scheme: str = "abstract"
+
+    def __init__(self, params: SystemParams, tracer: Tracer | None = None) -> None:
+        self.params = params
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # per-run state, created in run()
+        self.sim: Simulator = Simulator()
+        self.nics: list[Nic] = []
+        self.ledger: FlowLedger = FlowLedger(params.n_ports)
+        self.records: list[MessageRecord] = []
+        self._phase_remaining = 0
+
+    # -- the public entry point -------------------------------------------------
+
+    def run(self, phases: list[TrafficPhase], pattern_name: str = "") -> RunResult:
+        """Simulate all phases back to back and return the result."""
+        if not phases:
+            raise SimulationError("nothing to run: no phases")
+        n = self.params.n_ports
+        self.sim = Simulator()
+        self.nics = [Nic(self.params, p) for p in range(n)]
+        self.ledger = FlowLedger(n)
+        self.records = []
+        self._reset_scheme_state()
+
+        phase_results: list[PhaseResult] = []
+        for phase in phases:
+            start = self.sim.now
+            self._inject(phase)
+            self._execute_phase(phase)
+            if self._phase_remaining != 0:
+                raise SimulationError(
+                    f"phase {phase.name!r} ended with "
+                    f"{self._phase_remaining} undelivered messages"
+                )
+            phase_results.append(
+                PhaseResult(
+                    name=phase.name,
+                    start_ps=start,
+                    end_ps=self.sim.now,
+                    bytes=phase.total_bytes,
+                    messages=len(phase.messages),
+                )
+            )
+        self.ledger.assert_conserved()
+        return RunResult(
+            scheme=self.scheme,
+            pattern=pattern_name or phases[0].name,
+            params=self.params,
+            makespan_ps=self.sim.now,
+            total_bytes=sum(p.total_bytes for p in phases),
+            records=list(self.records),
+            phases=phase_results,
+            counters=self._collect_counters(),
+        )
+
+    # -- hooks for subclasses ------------------------------------------------------
+
+    def _reset_scheme_state(self) -> None:
+        """Initialise scheme-specific state for a new run."""
+
+    @abstractmethod
+    def _execute_phase(self, phase: TrafficPhase) -> None:
+        """Run the event loop until the injected phase drains."""
+
+    def _collect_counters(self) -> dict[str, int]:
+        return {"events": self.sim.events_executed}
+
+    # -- shared plumbing --------------------------------------------------------------
+
+    def _inject(self, phase: TrafficPhase) -> None:
+        """Queue a phase's messages into the source NICs.
+
+        Messages whose (phase-relative) ``inject_ps`` lies in the future
+        arrive at their NIC via a scheduled event, so source queues really
+        are empty between traffic bursts — predictors and request lines
+        see the same edges the paper's hardware would.
+        """
+        now = self.sim.now
+        n = self.params.n_ports
+        self._phase_remaining = len(phase.messages)
+        for msg in phase.messages:
+            if not (0 <= msg.src < n and 0 <= msg.dst < n):
+                raise SimulationError(
+                    f"message ({msg.src} -> {msg.dst}) does not fit a "
+                    f"{n}-port system; pattern/params size mismatch?"
+                )
+            # phase-relative injection offsets become absolute times
+            msg.inject_ps += now
+            self.ledger.offer(msg.src, msg.dst, msg.size)
+            if msg.inject_ps <= now:
+                self._accept(msg, at_phase_start=True)
+            else:
+                self.sim.schedule_at(
+                    msg.inject_ps, self._accept, msg, False, priority=Priority.NIC
+                )
+
+    def _accept(self, msg, at_phase_start: bool) -> None:
+        """A message arrives at its source NIC (override per scheme)."""
+        self.nics[msg.src].enqueue(msg)
+
+    def _deliver(self, record: MessageRecord) -> None:
+        """Account one completed message delivery."""
+        self.ledger.deliver(record.src, record.dst, record.size)
+        self.nics[record.dst].receive(record)
+        self.records.append(record)
+        self._phase_remaining -= 1
+        if self._phase_remaining < 0:  # pragma: no cover
+            raise SimulationError("delivered more messages than injected")
+        self.tracer.record(
+            record.done_ps, "deliver", src=record.src, dst=record.dst, size=record.size
+        )
+
+    @property
+    def phase_done(self) -> bool:
+        return self._phase_remaining == 0

@@ -1,0 +1,217 @@
+"""Pure circuit switching — the paper's first baseline.
+
+Section 3: *"circuit switching amounts to TDM with a multiplexing degree of
+one"*.  A dedicated path is established per message and torn down when the
+message completes.  The cost accounting follows Section 5 exactly:
+
+* the request travels to the scheduler over an 80 ns wire;
+* the scheduler resolves contention with the same SL array as the TDM
+  system (one pass per 80 ns, K = 1);
+* the grant travels back over an 80 ns wire;
+* data then streams at full link rate over the LVDS pipe
+  (30 + 20 + 20 + 30 ns point-to-point latency);
+* when the tail leaves, the request line drops (another 80 ns) and the
+  next SL pass releases the circuit — ports stay blocked until then, which
+  is the teardown overhead circuit switching pays per message.
+
+Each NIC services its message script in FIFO order: one output link means
+one circuit at a time, so only the head message's destination is
+requested.  Back-to-back messages to the same destination reuse the
+established circuit without teardown (the request line simply never
+drops) — the best case the paper's Section 2 analysis describes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..params import SystemParams
+from ..sched.priority import RotationPolicy, RoundRobinPriority
+from ..sched.scheduler import Scheduler
+from ..sim.engine import Priority
+from ..sim.trace import Tracer
+from ..traffic.base import TrafficPhase
+from ..types import Message, MessageRecord
+from .base import MAX_EVENTS_PER_PHASE, BaseNetwork
+
+__all__ = ["CircuitNetwork"]
+
+# NIC service states
+_IDLE = 0
+_WAITING = 1  # request raised, circuit not granted yet
+_SENDING = 2
+
+
+class CircuitNetwork(BaseNetwork):
+    """Per-message circuit establishment over a single crossbar."""
+
+    scheme = "circuit"
+
+    def __init__(
+        self,
+        params: SystemParams,
+        rotation: RotationPolicy | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        super().__init__(params, tracer)
+        self.rotation_template = rotation
+        self.scheduler: Scheduler | None = None
+        self._fifo: list[deque[Message]] = []
+        self._state: list[int] = []
+        self._current: list[Message | None] = []
+        self._clock_started = False
+        self.circuits_established = 0
+
+    def _reset_scheme_state(self) -> None:
+        n = self.params.n_ports
+        rotation = self.rotation_template or RoundRobinPriority(n)
+        rotation.reset()
+        self.scheduler = Scheduler(self.params, k=1, rotation=rotation)
+        self._fifo = [deque() for _ in range(n)]
+        self._state = [_IDLE] * n
+        self._current = [None] * n
+        self._clock_started = False
+        self.circuits_established = 0
+
+    def _accept(self, msg, at_phase_start: bool) -> None:
+        """Messages join the source NIC's sequential script on arrival."""
+        self._fifo[msg.src].append(msg)
+        if not at_phase_start and self._state[msg.src] == _IDLE:
+            self._advance_nic(msg.src)
+
+    def _execute_phase(self, phase: TrafficPhase) -> None:
+        # circuit switching serves each source's messages in program order
+        for u in range(self.params.n_ports):
+            if self._state[u] == _IDLE and self._fifo[u]:
+                self._advance_nic(u)
+        if not self._clock_started:
+            self._clock_started = True
+            self.sim.schedule(
+                self.params.scheduler_pass_ps, self._sl_tick, priority=Priority.SCHEDULER
+            )
+        self.sim.run(max_events=MAX_EVENTS_PER_PHASE)
+
+    def _collect_counters(self) -> dict[str, int]:
+        out = super()._collect_counters()
+        out["circuits_established"] = self.circuits_established
+        if self.scheduler is not None:
+            out.update(self.scheduler.counters.as_dict())
+        return out
+
+    # -- NIC state machine ------------------------------------------------------
+
+    def _advance_nic(self, u: int) -> None:
+        """Start serving the next queued message at NIC ``u`` (if any)."""
+        fifo = self._fifo[u]
+        if not fifo:
+            self._state[u] = _IDLE
+            return
+        msg = fifo.popleft()
+        self._current[u] = msg
+        self._state[u] = _WAITING
+        sched = self.scheduler
+        assert sched is not None
+        if sched.registers.b_star[u, msg.dst]:
+            # circuit still up from the previous message — reuse it now
+            self._start_transmission(u, reused=True)
+        else:
+            # raise the request line; it reaches the scheduler after the wire
+            self.sim.schedule(
+                self.params.request_wire_ps,
+                self._request_up,
+                u,
+                msg.dst,
+                priority=Priority.WIRE,
+            )
+
+    def _request_up(self, u: int, v: int) -> None:
+        sched = self.scheduler
+        assert sched is not None
+        sched.r_view[u, v] = True
+
+    def _request_down(self, u: int, v: int) -> None:
+        sched = self.scheduler
+        assert sched is not None
+        # the NIC may have raised the line again for a same-destination
+        # message while the drop was in flight
+        msg = self._current[u]
+        if msg is not None and msg.dst == v and self._state[u] != _IDLE:
+            return
+        sched.r_view[u, v] = False
+
+    # -- scheduler clock -----------------------------------------------------------
+
+    def _sl_tick(self) -> None:
+        sched = self.scheduler
+        assert sched is not None
+        result = sched.sl_pass(0)
+        if result.outcome is not None:
+            for t in result.outcome.established:
+                self.circuits_established += 1
+                # the pass takes one scheduler period to latch its result,
+                # then the grant travels back to the NIC (paper: 80 + 80 ns)
+                self.sim.schedule(
+                    self.params.scheduler_pass_ps + self.params.grant_wire_ps,
+                    self._granted,
+                    t.u,
+                    t.v,
+                    priority=Priority.WIRE,
+                )
+        if self._phase_remaining > 0 or self.sim.pending > 0:
+            self.sim.schedule(
+                self.params.scheduler_pass_ps, self._sl_tick, priority=Priority.SCHEDULER
+            )
+
+    def _granted(self, u: int, v: int) -> None:
+        msg = self._current[u]
+        if msg is None or msg.dst != v or self._state[u] != _WAITING:
+            # stale grant (the message was served over a reused circuit)
+            return
+        self._start_transmission(u, reused=False)
+
+    # -- data plane -------------------------------------------------------------------
+
+    def _start_transmission(self, u: int, reused: bool) -> None:
+        msg = self._current[u]
+        assert msg is not None
+        params = self.params
+        self._state[u] = _SENDING
+        t = self.sim.now
+        tail_ps = t + params.message_bytes_ps(msg.size)
+        done_ps = tail_ps + params.pipe_latency_ps
+        self.ledger.send(u, msg.dst, msg.size)
+        record = MessageRecord(
+            src=u,
+            dst=msg.dst,
+            size=msg.size,
+            inject_ps=msg.inject_ps,
+            start_ps=t,
+            done_ps=done_ps,
+            seq=msg.seq,
+        )
+        self.tracer.record(t, "circuit-tx", src=u, dst=msg.dst, reused=reused)
+        self.sim.schedule_at(tail_ps, self._tail_left, u, priority=Priority.NIC)
+        self.sim.schedule_at(done_ps, self._deliver, record, priority=Priority.NIC)
+
+    def _tail_left(self, u: int) -> None:
+        """The message's last byte left NIC ``u``: advance to the next one."""
+        msg = self._current[u]
+        assert msg is not None
+        v = msg.dst
+        self._current[u] = None
+        self._advance_nic(u)
+        nxt = self._current[u]
+        if nxt is None or nxt.dst != v:
+            # destination changed (or no more traffic): drop the request line
+            self.sim.schedule(
+                self.params.request_wire_ps,
+                self._request_down,
+                u,
+                v,
+                priority=Priority.WIRE,
+            )
+
+    def _deliver(self, record: MessageRecord) -> None:
+        super()._deliver(record)
+        if self.phase_done:
+            self.sim.stop()

@@ -1,0 +1,557 @@
+"""The predictive multiplexed switching network — the paper's system.
+
+One :class:`TdmNetwork` simulates the full Figure-1 plant:
+
+* N NICs with virtual output queues raising request lines;
+* the scheduler (Figure 2): K configuration registers, the SL array run
+  every ``scheduler_pass_ps`` (one pass schedules one slot), request
+  latches driven by a :class:`~repro.predict.base.Predictor`;
+* the TDM slot clock: every ``slot_ps`` the TDM counter advances to the
+  next non-empty configuration, the crossbar is reconfigured, and every
+  granted connection moves up to ``slot_bytes`` over its pipe;
+* optional **compiled communication**: per phase, the statically-known
+  connection set is compiled (bipartite edge colouring) into a
+  :class:`~repro.compiled.directives.PreloadProgram` whose batches occupy
+  ``k_preload`` pinned registers; batches advance as their traffic drains.
+
+Three operating modes reproduce the paper's configurations:
+
+=============  ============  =========================================
+mode           k_preload     corresponds to
+=============  ============  =========================================
+``dynamic``    0             Figure 4 "Dynamic TDM" (degree ``k``)
+``preload``    k             Figure 4 "Preload"
+``hybrid``     1 .. k-1      Figure 5 "k-preload / (K-k)-dynamic"
+=============  ============  =========================================
+
+Request and grant wires carry their physical delays: a queue-state change
+reaches the scheduler ``request_wire_ps`` later, and transfers happen in
+the slot after the configuration is actually loaded — the overheads whose
+amortisation is the point of the paper.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..compiled.directives import PreloadProgram
+from ..compiled.patterns import StaticPattern
+from ..errors import ConfigurationError, SchedulingError
+from ..fabric.crossbar import Crossbar
+from ..fabric.timing import FabricTiming
+from ..params import SystemParams
+from ..predict.base import NullPredictor, Predictor
+from ..predict.markov import MarkovPrefetcher
+from ..sched.constrained import ConstrainedScheduler, FabricConstraint
+from ..sched.multislot import QueueDepthBoostPolicy
+from ..sched.multiunit import MultiUnitScheduler
+from ..sched.priority import RotationPolicy, RoundRobinPriority
+from ..sched.scheduler import Scheduler
+from ..sim.engine import Priority
+from ..sim.trace import Tracer
+from ..traffic.base import TrafficPhase
+from ..types import Connection, MessageRecord
+from .base import MAX_EVENTS_PER_PHASE, BaseNetwork
+
+__all__ = ["TdmNetwork"]
+
+_MODES = ("dynamic", "preload", "hybrid")
+
+
+class TdmNetwork(BaseNetwork):
+    """TDM multiplexed switching with dynamic, preloaded, or hybrid control."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        k: int = 4,
+        mode: str = "dynamic",
+        k_preload: int | None = None,
+        predictor: Predictor | None = None,
+        rotation: RotationPolicy | None = None,
+        tracer: Tracer | None = None,
+        flush_on_phase: bool = False,
+        n_sl_units: int = 1,
+        multislot_threshold_bytes: int | None = None,
+        batch_load_ps: int | None = None,
+        injection_window: int | None = None,
+        skip_idle_slots: bool = True,
+        prefetcher: MarkovPrefetcher | None = None,
+        fabric_constraint: FabricConstraint | None = None,
+    ) -> None:
+        super().__init__(params, tracer)
+        if mode not in _MODES:
+            raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
+        if k < 1:
+            raise ConfigurationError("multiplexing degree must be >= 1")
+        if mode == "dynamic":
+            k_preload = 0
+        elif mode == "preload":
+            k_preload = k if k_preload is None else k_preload
+        elif k_preload is None or not 0 < k_preload < k:
+            raise ConfigurationError(
+                f"hybrid mode needs 0 < k_preload < k, got {k_preload}"
+            )
+        if mode == "preload" and k_preload != k:
+            raise ConfigurationError("preload mode pins all k slots")
+        self.k = k
+        self.mode = mode
+        self.k_preload = int(k_preload)
+        self.predictor_template = predictor
+        self.rotation_template = rotation
+        self.flush_on_phase = flush_on_phase
+        self.n_sl_units = n_sl_units
+        self.multislot_threshold_bytes = multislot_threshold_bytes
+        if injection_window is not None and injection_window < 1:
+            raise ConfigurationError("injection window must be >= 1")
+        #: max outstanding (queued, not fully transmitted) messages per NIC.
+        #: The paper's processors are sequential command-file generators with
+        #: a bounded number of in-flight non-blocking sends; None models
+        #: NICs deep enough to expose the whole phase at once.
+        self.injection_window = injection_window
+        #: generalise the TDM counter's empty-configuration skipping to
+        #: configurations with no pending requests (B(t) AND R == 0); the
+        #: scheduler holds both matrices, so the AND is free in hardware
+        self.skip_idle_slots = skip_idle_slots
+        self.batch_load_ps = (
+            params.scheduler_pass_ps if batch_load_ps is None else batch_load_ps
+        )
+        #: optional next-connection prefetcher (Section 3.2's proactive
+        #: establishment, realised through the extension-3 request latches)
+        self.prefetcher = prefetcher
+        #: optional non-crossbar fabric predicate (Omega, fat-tree, ...);
+        #: switches the scheduler to the constraint-checked generalisation
+        self.fabric_constraint = fabric_constraint
+        if fabric_constraint is not None and n_sl_units > 1:
+            raise ConfigurationError(
+                "fabric constraints and multiple SL units are mutually exclusive"
+            )
+        self.scheme = f"tdm-{mode}"
+        # per-run state
+        self.scheduler: Scheduler | None = None
+        self.predictor: Predictor = NullPredictor()
+        self.crossbar: Crossbar | None = None
+        self.boost_policy: QueueDepthBoostPolicy | None = None
+        self._program: PreloadProgram | None = None
+        self._batch_idx = 0
+        self._batch_conns: set[Connection] = set()
+        self._batch_remaining = 0
+        self._batch_loading = False
+        self._program_gen = 0
+        self._clocks_started = False
+        self._slot_transfers = 0
+        self._slot_opportunities = 0
+        self._scripts: list = []
+        self._script_bytes: np.ndarray | None = None
+        self._conn_ready: np.ndarray | None = None
+
+    # -- run scaffolding -----------------------------------------------------------
+
+    def _reset_scheme_state(self) -> None:
+        n = self.params.n_ports
+        rotation = self.rotation_template or RoundRobinPriority(n)
+        rotation.reset()
+        if self.fabric_constraint is not None:
+            self.scheduler = ConstrainedScheduler(
+                self.params, self.k, self.fabric_constraint, rotation
+            )
+        elif self.n_sl_units > 1:
+            self.scheduler = MultiUnitScheduler(
+                self.params, self.k, self.n_sl_units, rotation
+            )
+        else:
+            self.scheduler = Scheduler(self.params, self.k, rotation)
+        self.predictor = self.predictor_template or NullPredictor()
+        self.crossbar = Crossbar(self.params, FabricTiming.lvds(self.params))
+        if self.multislot_threshold_bytes is not None:
+            self.boost_policy = QueueDepthBoostPolicy(
+                self.scheduler, self.multislot_threshold_bytes, max_slots=2
+            )
+        else:
+            self.boost_policy = None
+        self._program = None
+        self._batch_idx = 0
+        self._batch_conns = set()
+        self._batch_remaining = 0
+        self._batch_loading = False
+        self._clocks_started = False
+        self._slot_transfers = 0
+        self._slot_opportunities = 0
+        self._scripts = []
+        self._script_bytes = None
+        # grant-wire visibility: a connection established at time t can first
+        # carry data at t + grant_wire_ps, when the NIC has seen its grant
+        self._conn_ready = np.zeros(
+            (self.params.n_ports, self.params.n_ports), dtype=np.int64
+        )
+
+    def _inject(self, phase: TrafficPhase) -> None:
+        """Inject a phase, honouring the per-NIC injection window.
+
+        With a window of W, each NIC holds at most W outstanding messages
+        in its VOQs; the rest wait in the NIC's sequential script and enter
+        as earlier messages finish transmitting — the behaviour of the
+        paper's command-file packet generators with bounded non-blocking
+        sends.
+        """
+        if self.injection_window is None:
+            super()._inject(phase)
+            return
+        now = self.sim.now
+        n = self.params.n_ports
+        self._scripts = [deque() for _ in range(n)]
+        self._script_bytes = np.zeros((n, n), dtype=np.int64)
+        for msg in phase.messages:
+            if not (0 <= msg.src < n and 0 <= msg.dst < n):
+                raise SchedulingError(
+                    f"message ({msg.src} -> {msg.dst}) does not fit a "
+                    f"{n}-port system; pattern/params size mismatch?"
+                )
+            msg.inject_ps += now
+            self.ledger.offer(msg.src, msg.dst, msg.size)
+            self._scripts[msg.src].append(msg)
+            self._script_bytes[msg.src, msg.dst] += msg.size
+        self._phase_remaining = len(phase.messages)
+        for u in range(n):
+            for _ in range(self.injection_window):
+                self._feed_nic(u, initial=True)
+
+    def _feed_nic(self, u: int, initial: bool = False) -> None:
+        """Move the next scripted message of NIC ``u`` into its VOQs."""
+        if not self._scripts:
+            return
+        script = self._scripts[u]
+        if not script:
+            return
+        msg = script.popleft()
+        assert self._script_bytes is not None
+        self._script_bytes[u, msg.dst] -= msg.size
+        self.nics[u].enqueue(msg)
+        if not initial:
+            # a fresh request edge travels to the scheduler
+            self.sim.schedule(
+                self.params.request_wire_ps,
+                self._request_rise,
+                u,
+                msg.dst,
+                priority=Priority.WIRE,
+            )
+
+    def _request_rise(self, u: int, v: int) -> None:
+        sched = self.scheduler
+        assert sched is not None
+        if self.nics[u].voqs.bytes_pending[v] > 0:
+            sched.r_view[u, v] = True
+
+    def _accept(self, msg, at_phase_start: bool) -> None:
+        """A message arrives mid-phase: raise its request after the wire."""
+        super()._accept(msg, at_phase_start)
+        if not at_phase_start:
+            self.sim.schedule(
+                self.params.request_wire_ps,
+                self._request_rise,
+                msg.src,
+                msg.dst,
+                priority=Priority.WIRE,
+            )
+
+    def _execute_phase(self, phase: TrafficPhase) -> None:
+        sched = self.scheduler
+        assert sched is not None
+        if self.flush_on_phase and self.sim.now > 0:
+            sched.flush()
+            self.predictor.on_flush(self.sim.now)
+
+        if self.k_preload > 0:
+            self._compile_phase_program(phase)
+        else:
+            self._program = None
+
+        # the request wires settle request_wire_ps after injection
+        self.sim.schedule(
+            self.params.request_wire_ps,
+            self._sync_requests,
+            priority=Priority.WIRE,
+        )
+        if not self._clocks_started:
+            self._clocks_started = True
+            self.sim.schedule(self.params.slot_ps, self._slot_tick, priority=Priority.FABRIC)
+            self.sim.schedule(
+                self.params.scheduler_pass_ps, self._sl_tick, priority=Priority.SCHEDULER
+            )
+        self.sim.run(max_events=MAX_EVENTS_PER_PHASE)
+        if self._phase_remaining != 0:  # pragma: no cover - debugging aid
+            raise SchedulingError(
+                f"TDM run stalled with {self._phase_remaining} messages pending"
+            )
+
+    def _collect_counters(self) -> dict[str, int]:
+        out = super()._collect_counters()
+        if self.scheduler is not None:
+            out.update(self.scheduler.counters.as_dict())
+            out["tdm_advances"] = self.scheduler.tdm.advances
+            out["tdm_idle_ticks"] = self.scheduler.tdm.idle_ticks
+        out["slot_transfers"] = self._slot_transfers
+        if self.crossbar is not None:
+            out["fabric_reconfigurations"] = self.crossbar.reconfigurations
+        out["slot_opportunities"] = self._slot_opportunities
+        out.update({f"predictor_{k}": v for k, v in self.predictor.stats().items()})
+        if self.prefetcher is not None:
+            out.update(
+                {f"prefetch_{k}": v for k, v in self.prefetcher.stats().items()}
+            )
+        if self._program is not None:
+            out["preload_batches"] = self._program.n_batches
+        return out
+
+    # -- compiled communication ------------------------------------------------------
+
+    def _compile_phase_program(self, phase: TrafficPhase) -> None:
+        """Compile the phase's static connections into a preload program.
+
+        When the pattern supplies a program-order preload schedule (the
+        compiler knows the send order), its configurations are batched as
+        given; otherwise the generic edge-colouring compiler runs on the
+        phase's static connection set.
+
+        Each compilation starts a new program *generation*; batch-load
+        events scheduled under an older generation (a previous phase) are
+        ignored when they fire.
+        """
+        self._program_gen += 1
+        if phase.preload_configs:
+            configs = list(phase.preload_configs)
+            self._program = PreloadProgram(
+                n=self.params.n_ports,
+                k_preload=self.k_preload,
+                batches=[
+                    configs[i : i + self.k_preload]
+                    for i in range(0, len(configs), self.k_preload)
+                ],
+            )
+            self._batch_idx = 0
+            self._load_batch(self._batch_idx, self._program_gen)
+            if self.mode == "preload" and phase.dynamic_conns():
+                raise SchedulingError(
+                    "pure preload mode cannot serve statically-unknown traffic; "
+                    "use hybrid mode"
+                )
+            return
+        static = StaticPattern(self.params.n_ports, phase.static_conns)
+        if len(static) == 0:
+            if self.mode == "preload" and phase.messages:
+                raise SchedulingError(
+                    "pure preload mode cannot serve a phase with no static "
+                    "communication information; use hybrid or dynamic mode"
+                )
+            # a phase with nothing to preload: hand any previously pinned
+            # registers back to the dynamic scheduler
+            self._program = None
+            self._batch_conns = set()
+            self._batch_remaining = 0
+            regs = self.scheduler.registers
+            for slot in list(regs.pinned):
+                regs.clear_slot(slot)
+            return
+        self._program = PreloadProgram.compile(static, self.k_preload)
+        self._batch_idx = 0
+        self._load_batch(self._batch_idx, self._program_gen)
+        if self.mode == "preload" and phase.dynamic_conns():
+            raise SchedulingError(
+                "pure preload mode cannot serve statically-unknown traffic; "
+                "use hybrid mode"
+            )
+
+    def _load_batch(self, index: int, generation: int) -> None:
+        """Load batch ``index`` into the pinned registers."""
+        if generation != self._program_gen:
+            return  # stale directive from a previous phase's program
+        assert self._program is not None and self.scheduler is not None
+        batch = self._program.batches[index]
+        regs = self.scheduler.registers
+        for s in range(self.k_preload):
+            if s < len(batch):
+                regs.load(s, batch[s], pin=True)
+            else:
+                # trailing registers of a short batch fall back to dynamic use
+                regs.clear_slot(s)
+        self._batch_conns = self._program.batch_connections(index)
+        if self._conn_ready is not None:
+            ready = self.sim.now + self.params.grant_wire_ps
+            for u, v in self._batch_conns:
+                self._conn_ready[u, v] = max(self._conn_ready[u, v], ready)
+        # bytes still to transmit on this batch's connections: offered minus
+        # sent covers queued, scripted (windowed), and future-injected alike
+        # (earlier phases are fully sent by the phase barrier)
+        self._batch_remaining = int(
+            sum(
+                self.ledger.offered[u, v] - self.ledger.sent[u, v]
+                for u, v in self._batch_conns
+            )
+        )
+        self._batch_loading = False
+        self.scheduler.counters.inc("preloads", len(batch))
+        self.tracer.record(
+            self.sim.now, "preload-batch", index=index, conns=len(self._batch_conns)
+        )
+        if self._batch_remaining == 0:
+            self._maybe_advance_batch()
+
+    def _maybe_advance_batch(self) -> None:
+        """Advance to the next batch once the current one has drained."""
+        if (
+            self._program is None
+            or self._batch_loading
+            or self._batch_remaining > 0
+            or self._batch_idx + 1 >= self._program.n_batches
+        ):
+            return
+        self._batch_idx += 1
+        self._batch_loading = True
+        # the compiler directive takes one scheduler pass to take effect
+        self.sim.schedule(
+            self.batch_load_ps,
+            self._load_batch,
+            self._batch_idx,
+            self._program_gen,
+            priority=Priority.SCHEDULER,
+        )
+
+    # -- request plane ----------------------------------------------------------------
+
+    def _sync_requests(self) -> None:
+        """Full refresh of the scheduler's request view (phase injection)."""
+        sched = self.scheduler
+        assert sched is not None
+        for nic in self.nics:
+            sched.r_view[nic.port, :] = nic.voqs.request_vector()
+
+    def _request_drop(self, u: int, v: int, hold: bool) -> None:
+        """A queue-empty edge arrived at the scheduler."""
+        sched = self.scheduler
+        assert sched is not None
+        if self.nics[u].voqs.bytes_pending[v] > 0:
+            # a new phase refilled the queue while the drop was in flight
+            sched.r_view[u, v] = True
+            return
+        sched.r_view[u, v] = False
+        sched.latched[u, v] = hold
+
+    # -- the TDM slot clock ---------------------------------------------------------------
+
+    def _slot_tick(self) -> None:
+        sched = self.scheduler
+        assert sched is not None
+        t = self.sim.now
+        pending = sched.r_view if self.skip_idle_slots else None
+        slot = sched.tdm.advance(pending)
+        if slot is not None:
+            assert self.crossbar is not None
+            self.crossbar.apply(sched.registers[slot])
+            self._transfer_slot(slot, t)
+            self._maybe_advance_batch()
+        if self._phase_remaining > 0 or self.sim.pending > 0:
+            self.sim.schedule(self.params.slot_ps, self._slot_tick, priority=Priority.FABRIC)
+
+    def _transfer_slot(self, slot: int, t: int) -> None:
+        """Move data over every granted connection of one slot."""
+        params = self.params
+        sched = self.scheduler
+        assert sched is not None
+        cfg = sched.registers[slot]
+        slot_bytes = params.slot_bytes
+        byte_ps = params.byte_ps
+        conn_ready = self._conn_ready
+        assert conn_ready is not None
+        for u, v in cfg.connections():
+            nic = self.nics[u]
+            self._slot_opportunities += 1
+            if conn_ready[u, v] > t:
+                continue  # the NIC has not seen this grant yet
+            if nic.voqs.bytes_pending[v] <= 0:
+                continue
+            moved, done = nic.voqs.drain(v, slot_bytes, t, byte_ps)
+            if moved == 0:
+                continue
+            self._slot_transfers += 1
+            self.ledger.send(u, v, moved)
+            self.predictor.on_use(u, v, t)
+            if (u, v) in self._batch_conns:
+                self._batch_remaining -= moved
+            for dm in done:
+                record = MessageRecord(
+                    src=u,
+                    dst=v,
+                    size=dm.message.size,
+                    inject_ps=dm.message.inject_ps,
+                    start_ps=dm.start_ps,
+                    done_ps=dm.finish_ps + self.crossbar.path_latency_ps(),
+                    seq=dm.message.seq,
+                )
+                self.sim.schedule_at(
+                    record.done_ps, self._deliver, record, priority=Priority.NIC
+                )
+                if self.prefetcher is not None:
+                    self.prefetcher.observe(u, v, t)
+                    conn = self.prefetcher.prefetch(u, v, t)
+                    if conn is not None:
+                        # the Figure-1 predictor sits beside the scheduler,
+                        # so the latch is set without a wire delay
+                        sched = self.scheduler
+                        assert sched is not None
+                        sched.latched[conn.src, conn.dst] = True
+                if self.injection_window is not None:
+                    self._feed_nic(u)
+            if nic.voqs.bytes_pending[v] == 0:
+                hold = self.predictor.on_empty(u, v, t)
+                self.sim.schedule(
+                    params.request_wire_ps,
+                    self._request_drop,
+                    u,
+                    v,
+                    hold,
+                    priority=Priority.WIRE,
+                )
+
+    # -- the SL clock -------------------------------------------------------------------------
+
+    def _sl_tick(self) -> None:
+        sched = self.scheduler
+        assert sched is not None
+        t = self.sim.now
+        for conn in self.predictor.expired(t):
+            sched.latched[conn.src, conn.dst] = False
+        if self.prefetcher is not None:
+            for conn in self.prefetcher.expired(t):
+                if not sched.r_view[conn.src, conn.dst]:
+                    sched.latched[conn.src, conn.dst] = False
+        if self.boost_policy is not None:
+            queue_bytes = np.stack([nic.voqs.bytes_pending for nic in self.nics])
+            self.boost_policy.update(queue_bytes)
+            self.boost_policy.release_excess(queue_bytes)
+        if isinstance(sched, MultiUnitScheduler):
+            passes = sched.sl_tick()
+        else:
+            passes = [sched.sl_pass()]
+        # the pass latches after one scheduler period; the grant then rides
+        # the grant wire to the NIC before the connection can carry data
+        ready = t + self.params.scheduler_pass_ps + self.params.grant_wire_ps
+        assert self._conn_ready is not None
+        for p in passes:
+            if p.outcome is None:
+                continue
+            for tog in p.outcome.established:
+                self._conn_ready[tog.u, tog.v] = ready
+        if self._phase_remaining > 0 or self.sim.pending > 0:
+            self.sim.schedule(
+                self.params.scheduler_pass_ps, self._sl_tick, priority=Priority.SCHEDULER
+            )
+
+    # -- delivery hook ---------------------------------------------------------------------------
+
+    def _deliver(self, record: MessageRecord) -> None:
+        super()._deliver(record)
+        if self.phase_done:
+            self.sim.stop()

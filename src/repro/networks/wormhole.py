@@ -1,0 +1,201 @@
+"""Wormhole routing — the paper's second baseline.
+
+Section 5's accounting on the single digital crossbar:
+
+* messages are segmented into worms of at most 128 bytes (flits of 8
+  bytes) *"in order to ensure fairness within the network"*;
+* a worm's head flit takes NIC (10 ns) + parallel-to-serial (30 ns) +
+  cable (20 ns) to reach the switch, where *"the delay through the switch
+  includes the time required to schedule the first flit of the message,
+  which is 80 ns"*; subsequent flits cross the switch in 10 ns;
+* an output port carries one worm at a time; a head that finds its port
+  busy waits (FCFS) and — this is wormhole's defining pathology —
+  **backpressures its source link**, which cannot start the next worm
+  until the blocked one drains;
+* consecutive worms of one message pipeline through the switch's small
+  buffer, so the cable delay is paid once per message, as the paper notes.
+
+The model is event-driven at worm granularity: each worm contributes a
+head-arrival, a grant, a port-release, and a delivery event, with exact
+byte-time arithmetic in between — flit-level simulation would add events
+but no additional contention behaviour on a single crossbar.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..params import SystemParams
+from ..sim.engine import Priority
+from ..sim.trace import Tracer
+from ..traffic.base import TrafficPhase
+from ..types import Message, MessageRecord
+from .base import MAX_EVENTS_PER_PHASE, BaseNetwork
+
+__all__ = ["WormholeNetwork"]
+
+
+@dataclass(slots=True)
+class _Worm:
+    """One worm (message segment) in flight."""
+
+    msg: Message
+    size: int
+    is_last: bool
+    launch_ps: int = 0  # when its first flit left the NIC
+
+
+@dataclass(slots=True)
+class _OutputPort:
+    """FCFS arbitration state of one crossbar output."""
+
+    busy: bool = False
+    waiting: deque = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.waiting is None:
+            self.waiting = deque()
+
+
+class WormholeNetwork(BaseNetwork):
+    """Worm-granularity wormhole routing over one digital crossbar."""
+
+    scheme = "wormhole"
+
+    def __init__(self, params: SystemParams, tracer: Tracer | None = None) -> None:
+        super().__init__(params, tracer)
+        self._fifo: list[deque[Message]] = []
+        self._nic_busy: list[bool] = []
+        self._ports: list[_OutputPort] = []
+        self._msg_start: dict[int, int] = {}  # id(message) -> first-flit time
+        self.worms_sent = 0
+        self.worm_blocks = 0
+
+    def _reset_scheme_state(self) -> None:
+        n = self.params.n_ports
+        self._fifo = [deque() for _ in range(n)]
+        self._nic_busy = [False] * n
+        self._ports = [_OutputPort() for _ in range(n)]
+        self._msg_start = {}
+        self.worms_sent = 0
+        self.worm_blocks = 0
+
+    def _accept(self, msg, at_phase_start: bool) -> None:
+        """Messages join the source NIC's sequential script on arrival."""
+        self._fifo[msg.src].append(msg)
+        if not at_phase_start and not self._nic_busy[msg.src]:
+            self._launch_next(msg.src)
+
+    def _execute_phase(self, phase: TrafficPhase) -> None:
+        for u in range(self.params.n_ports):
+            if not self._nic_busy[u] and self._fifo[u]:
+                self._launch_next(u)
+        self.sim.run(max_events=MAX_EVENTS_PER_PHASE)
+
+    def _collect_counters(self) -> dict[str, int]:
+        out = super()._collect_counters()
+        out["worms_sent"] = self.worms_sent
+        out["worm_blocks"] = self.worm_blocks
+        return out
+
+    # -- source side --------------------------------------------------------------
+
+    def _launch_next(self, u: int) -> None:
+        """Start serialising the next worm from NIC ``u``, if any."""
+        fifo = self._fifo[u]
+        if not fifo:
+            self._nic_busy[u] = False
+            return
+        msg = fifo[0]
+        worm_size = min(self.params.worm_max_bytes, msg.remaining)
+        msg.remaining -= worm_size
+        if id(msg) not in self._msg_start:
+            self._msg_start[id(msg)] = self.sim.now
+        is_last = msg.remaining == 0
+        if is_last:
+            fifo.popleft()
+        worm = _Worm(msg=msg, size=worm_size, is_last=is_last, launch_ps=self.sim.now)
+        self._nic_busy[u] = True
+        self.worms_sent += 1
+        # head flit reaches the switch input after NIC + SerDes + cable
+        self.sim.schedule(
+            self.params.wormhole_head_path_ps,
+            self._head_arrived,
+            worm,
+            priority=Priority.TRANSFER,
+        )
+
+    # -- switch side ------------------------------------------------------------------
+
+    def _head_arrived(self, worm: _Worm) -> None:
+        port = self._ports[worm.msg.dst]
+        if port.busy:
+            self.worm_blocks += 1
+            port.waiting.append(worm)
+            self.tracer.record(
+                self.sim.now, "worm-blocked", src=worm.msg.src, dst=worm.msg.dst
+            )
+        else:
+            self._arbitrate(port, worm)
+
+    def _arbitrate(self, port: _OutputPort, worm: _Worm) -> None:
+        """The scheduler needs one 80 ns pass to route the head flit."""
+        port.busy = True
+        self.sim.schedule(
+            self.params.scheduler_pass_ps,
+            self._granted,
+            worm,
+            priority=Priority.SCHEDULER,
+        )
+
+    def _granted(self, worm: _Worm) -> None:
+        params = self.params
+        t = self.sim.now
+        u, v = worm.msg.src, worm.msg.dst
+        body_ps = worm.size * params.byte_ps
+        # flits flow: the tail clears the switch output after the body time
+        # plus the 10 ns digital switch traversal
+        port_free_ps = t + body_ps + params.digital_switch_ps
+        deliver_ps = port_free_ps + params.wormhole_exit_path_ps
+        # the tail leaves the source once flits stream; if the grant came
+        # later than uninterrupted serialisation would allow, the source was
+        # backpressured and frees late
+        src_free_ps = max(
+            worm.launch_ps, t - params.wormhole_head_path_ps
+        ) + body_ps
+        self.ledger.send(u, v, worm.size)
+        self.sim.schedule_at(
+            port_free_ps, self._port_freed, v, priority=Priority.TRANSFER
+        )
+        self.sim.schedule_at(
+            max(src_free_ps, t), self._source_freed, u, priority=Priority.NIC
+        )
+        if worm.is_last:
+            record = MessageRecord(
+                src=u,
+                dst=v,
+                size=worm.msg.size,
+                inject_ps=worm.msg.inject_ps,
+                start_ps=self._msg_start.pop(id(worm.msg)),
+                done_ps=deliver_ps,
+                seq=worm.msg.seq,
+            )
+            self.sim.schedule_at(
+                deliver_ps, self._deliver, record, priority=Priority.NIC
+            )
+        self.tracer.record(t, "worm-granted", src=u, dst=v, bytes=worm.size)
+
+    def _port_freed(self, v: int) -> None:
+        port = self._ports[v]
+        port.busy = False
+        if port.waiting:
+            self._arbitrate(port, port.waiting.popleft())
+
+    def _source_freed(self, u: int) -> None:
+        self._launch_next(u)
+
+    def _deliver(self, record: MessageRecord) -> None:
+        super()._deliver(record)
+        if self.phase_done:
+            self.sim.stop()

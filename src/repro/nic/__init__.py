@@ -1,0 +1,7 @@
+"""NIC substrate: virtual output queues, the NIC model, flow accounting."""
+
+from .flow import FlowLedger
+from .nic import Nic
+from .queues import DrainedMessage, VirtualOutputQueues
+
+__all__ = ["FlowLedger", "Nic", "DrainedMessage", "VirtualOutputQueues"]

@@ -1,0 +1,73 @@
+"""End-to-end flow-control accounting.
+
+Section 2 of the paper: with dedicated pipes *"no congestion control is
+needed, no routing or control information has to be included with the data,
+no intermediate buffering and routing is needed and only end-to-end flow
+control is required."*
+
+This module implements that end-to-end accounting: a
+:class:`FlowLedger` tracks bytes that have left each source and bytes
+that have arrived at each destination, and can verify conservation at any
+time.  All three network models feed it, which gives the test suite a
+single invariant — *no byte is created, lost, or duplicated* — that holds
+across wormhole, circuit, and TDM switching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvariantError
+
+__all__ = ["FlowLedger"]
+
+
+class FlowLedger:
+    """Byte conservation ledger over all (src, dst) pairs."""
+
+    __slots__ = ("n", "sent", "delivered", "offered")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        #: bytes that left each source NIC, per destination
+        self.sent = np.zeros((n, n), dtype=np.int64)
+        #: bytes that arrived at each destination NIC, per source
+        self.delivered = np.zeros((n, n), dtype=np.int64)
+        #: bytes enqueued by the traffic pattern
+        self.offered = np.zeros((n, n), dtype=np.int64)
+
+    def offer(self, src: int, dst: int, n_bytes: int) -> None:
+        self.offered[src, dst] += n_bytes
+
+    def send(self, src: int, dst: int, n_bytes: int) -> None:
+        self.sent[src, dst] += n_bytes
+        if self.sent[src, dst] > self.offered[src, dst]:
+            raise InvariantError(
+                f"({src}->{dst}) sent {self.sent[src, dst]} bytes "
+                f"but only {self.offered[src, dst]} were offered"
+            )
+
+    def deliver(self, src: int, dst: int, n_bytes: int) -> None:
+        self.delivered[src, dst] += n_bytes
+        if self.delivered[src, dst] > self.sent[src, dst]:
+            raise InvariantError(
+                f"({src}->{dst}) delivered {self.delivered[src, dst]} bytes "
+                f"but only {self.sent[src, dst]} were sent"
+            )
+
+    @property
+    def in_flight(self) -> int:
+        """Bytes sent but not yet delivered."""
+        return int(self.sent.sum() - self.delivered.sum())
+
+    @property
+    def total_delivered(self) -> int:
+        return int(self.delivered.sum())
+
+    def assert_conserved(self) -> None:
+        """At end of run: everything offered was sent and delivered."""
+        if not np.array_equal(self.offered, self.sent):
+            missing = int((self.offered - self.sent).sum())
+            raise InvariantError(f"{missing} offered bytes never sent")
+        if not np.array_equal(self.sent, self.delivered):
+            raise InvariantError(f"{self.in_flight} bytes lost in flight")

@@ -1,0 +1,75 @@
+"""The network interface card model.
+
+Each processor in the paper's system is fronted by a NIC with an input
+buffer and an output buffer of N logical queues (see
+:class:`~repro.nic.queues.VirtualOutputQueues`).  The NIC
+
+* raises its N-bit request signal ``R_u`` towards the scheduler whenever a
+  logical queue is non-empty,
+* transmits from queue ``v`` whenever the grant signal ``G_{u,v}`` is up
+  (during TDM slots or over a held circuit), and
+* receives data into its input buffer with a single-cycle (10 ns) delay.
+
+The NIC itself is passive bookkeeping; the network models move the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..params import SystemParams
+from ..types import Message, MessageRecord
+from .queues import VirtualOutputQueues
+
+__all__ = ["Nic"]
+
+
+class Nic:
+    """One network interface: output VOQs plus receive-side accounting."""
+
+    __slots__ = (
+        "params",
+        "port",
+        "voqs",
+        "bytes_received",
+        "records",
+        "last_request",
+    )
+
+    def __init__(self, params: SystemParams, port: int) -> None:
+        self.params = params
+        self.port = port
+        self.voqs = VirtualOutputQueues(params.n_ports, port)
+        self.bytes_received = 0
+        #: completed deliveries *into* this NIC
+        self.records: list[MessageRecord] = []
+        #: last request vector communicated to the scheduler (for edge detection)
+        self.last_request = np.zeros(params.n_ports, dtype=bool)
+
+    def enqueue(self, msg: Message) -> None:
+        self.voqs.enqueue(msg)
+
+    def request_vector(self) -> np.ndarray:
+        return self.voqs.request_vector()
+
+    def request_changes(self) -> list[tuple[int, bool]]:
+        """Destinations whose request bit flipped since the last sample.
+
+        The network model calls this to generate request-wire update events
+        (each flip travels to the scheduler with the request-wire delay).
+        """
+        current = self.request_vector()
+        flips = np.nonzero(current != self.last_request)[0]
+        changes = [(int(v), bool(current[v])) for v in flips]
+        self.last_request = current
+        return changes
+
+    def receive(self, record: MessageRecord) -> None:
+        """Account a completed delivery (last byte arrived)."""
+        self.bytes_received += record.size
+        self.records.append(record)
+
+    @property
+    def idle(self) -> bool:
+        """True when nothing is queued for transmission."""
+        return self.voqs.is_empty

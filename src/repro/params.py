@@ -1,0 +1,151 @@
+"""System parameters — every timing constant from Section 5 of the paper.
+
+The defaults reproduce the paper's simulated 128-processor system:
+
+==============================  =======================================
+quantity                        paper value
+==============================  =======================================
+ports                           128 (one NIC per processor)
+link rate                       6.4 Gb/s serial  (1250 ps per byte)
+NIC send/receive delay          10 ns (single cycle, synthesised VHDL)
+parallel-to-serial conversion   30 ns (each end)
+cable propagation               20 ns (10-foot cable)
+digital crossbar hop            10 ns (wormhole only)
+LVDS/optical crossbar hop       ~0 ns (< 2 ns, neglected)
+scheduler (SL array) pass       80 ns (ASIC estimate for 128x128)
+TDM slot                        100 ns  => 80 bytes per slot
+wormhole worm limit             128 bytes
+wormhole flit size              8 bytes
+request / grant wires           80 ns each way (circuit set-up accounting)
+guard band                      0-5 % of a slot (ablation knob)
+==============================  =======================================
+
+All times are stored as integer picoseconds (see :mod:`repro.sim.clock`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from .errors import ConfigurationError
+from .sim.clock import byte_time_ps, ns
+
+__all__ = ["SystemParams", "PAPER_PARAMS"]
+
+
+@dataclass(slots=True, frozen=True)
+class SystemParams:
+    """Immutable bundle of system-wide constants.
+
+    Use :data:`PAPER_PARAMS` for the paper's configuration, and
+    :meth:`with_overrides` for parameter sweeps::
+
+        small = PAPER_PARAMS.with_overrides(n_ports=16)
+    """
+
+    n_ports: int = 128
+    link_gbps: float = 6.4
+    nic_delay_ps: int = ns(10)
+    serdes_ps: int = ns(30)
+    cable_ps: int = ns(20)
+    digital_switch_ps: int = ns(10)
+    lvds_switch_ps: int = ns(0)
+    scheduler_pass_ps: int = ns(80)
+    slot_ps: int = ns(100)
+    request_wire_ps: int = ns(80)
+    grant_wire_ps: int = ns(80)
+    worm_max_bytes: int = 128
+    flit_bytes: int = 8
+    guard_band_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_ports < 2:
+            raise ConfigurationError("need at least 2 ports")
+        if self.slot_ps <= 0 or self.scheduler_pass_ps <= 0:
+            raise ConfigurationError("clock periods must be positive")
+        if not 0.0 <= self.guard_band_frac < 1.0:
+            raise ConfigurationError("guard band fraction must be in [0, 1)")
+        if self.worm_max_bytes % self.flit_bytes != 0:
+            raise ConfigurationError("worm limit must be a whole number of flits")
+        for name in (
+            "nic_delay_ps",
+            "serdes_ps",
+            "cable_ps",
+            "digital_switch_ps",
+            "lvds_switch_ps",
+            "request_wire_ps",
+            "grant_wire_ps",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        # trigger the exactness check at construction time
+        byte_time_ps(self.link_gbps)
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def byte_ps(self) -> int:
+        """Serialisation time of one byte on a link, in ps (1250 @ 6.4 Gb/s)."""
+        return byte_time_ps(self.link_gbps)
+
+    @property
+    def slot_bytes(self) -> int:
+        """Usable payload bytes per TDM slot after the guard band.
+
+        With the paper's defaults this is 80 bytes; a 5 % guard band gives
+        76 bytes.
+        """
+        usable_ps = int(self.slot_ps * (1.0 - self.guard_band_frac))
+        return usable_ps // self.byte_ps
+
+    @property
+    def pipe_latency_ps(self) -> int:
+        """End-to-end latency of an established LVDS/optical pipe.
+
+        Paper: 30 (P2S) + 20 (cable) + [~0 switch] + 20 (cable) + 30 (S2P),
+        i.e. 100 ns, plus a NIC cycle on each side.
+        """
+        return (
+            self.nic_delay_ps
+            + self.serdes_ps
+            + self.cable_ps
+            + self.lvds_switch_ps
+            + self.cable_ps
+            + self.serdes_ps
+            + self.nic_delay_ps
+        )
+
+    @property
+    def wormhole_head_path_ps(self) -> int:
+        """Latency of a worm head from NIC output to switch input."""
+        return self.nic_delay_ps + self.serdes_ps + self.cable_ps
+
+    @property
+    def wormhole_exit_path_ps(self) -> int:
+        """Latency from the switch output to the destination NIC."""
+        return self.cable_ps + self.serdes_ps + self.nic_delay_ps
+
+    @property
+    def circuit_setup_ps(self) -> int:
+        """Circuit switching set-up: request wire + scheduler + grant wire.
+
+        Paper: 80 + 80 + 80 = 240 ns.
+        """
+        return self.request_wire_ps + self.scheduler_pass_ps + self.grant_wire_ps
+
+    def message_bytes_ps(self, n_bytes: int) -> int:
+        """Link serialisation time of ``n_bytes``."""
+        return n_bytes * self.byte_ps
+
+    def slots_for(self, n_bytes: int) -> int:
+        """TDM slots needed to carry ``n_bytes`` (ceil division)."""
+        sb = self.slot_bytes
+        return -(-n_bytes // sb)
+
+    def with_overrides(self, **kwargs: Any) -> "SystemParams":
+        """A copy with some fields replaced (validated again)."""
+        return replace(self, **kwargs)
+
+
+PAPER_PARAMS = SystemParams()

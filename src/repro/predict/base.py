@@ -1,0 +1,66 @@
+"""Predictor interface.
+
+Section 3.2 of the paper inverts the usual prediction question: with TDM
+caching the working set, adding a connection pays its establishment cost
+exactly once (a compulsory miss), so *"instead of trying to predict when to
+add a new connection to the working set, the role of dynamic predictions in
+our network will be to predict when to remove a connection from the working
+set."*
+
+A predictor therefore drives the **request latches** of extension 3: when a
+NIC's queue for some destination drains, the network asks the predictor
+whether to keep the connection latched (cached in its TDM slot) or let the
+Table-1 release fire.  Predictors observe three event kinds:
+
+* ``on_use(u, v, t)`` — the connection carried data during a slot;
+* ``on_empty(u, v, t)`` — the source queue for it just drained;
+* ``on_flush(t)`` — a compiler flush directive arrived.
+
+``expired(t)`` returns latches to drop at time ``t``; the network clears
+them in the scheduler, letting the normal release path evict the
+connections.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..types import Connection
+
+__all__ = ["Predictor", "NullPredictor"]
+
+
+class Predictor(ABC):
+    """Decides which drained connections stay cached in the network."""
+
+    @abstractmethod
+    def on_use(self, u: int, v: int, t_ps: int) -> None:
+        """Connection (u, v) carried data at time ``t_ps``."""
+
+    @abstractmethod
+    def on_empty(self, u: int, v: int, t_ps: int) -> bool:
+        """Queue (u, v) drained; return True to keep the connection latched."""
+
+    @abstractmethod
+    def expired(self, t_ps: int) -> list[Connection]:
+        """Latches that should be dropped as of ``t_ps`` (may be empty)."""
+
+    def on_flush(self, t_ps: int) -> None:
+        """A flush directive: forget all state (default implementation)."""
+
+    def stats(self) -> dict[str, int]:
+        """Optional counters for reports."""
+        return {}
+
+
+class NullPredictor(Predictor):
+    """Never latch anything — the paper's plain dynamic TDM."""
+
+    def on_use(self, u: int, v: int, t_ps: int) -> None:
+        return None
+
+    def on_empty(self, u: int, v: int, t_ps: int) -> bool:
+        return False
+
+    def expired(self, t_ps: int) -> list[Connection]:
+        return []

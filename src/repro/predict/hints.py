@@ -1,0 +1,113 @@
+"""Compiler-assisted prediction (Section 3.3).
+
+Two predictors that consume high-level program knowledge:
+
+* :class:`HintedPredictor` — wraps any base predictor but **pins** a set of
+  compiler-identified connections (they are never evicted) and honours
+  flush directives at phase boundaries.  This models *"the compiler might
+  be able to statically determine a portion of the working set, allowing
+  the dynamic reconfiguration strategy to only work on non-predicted
+  communications"*.
+* :class:`OraclePredictor` — an offline upper bound for ablations: given
+  the full future trace, it holds a drained connection iff that connection
+  is used again within a horizon.  No hardware could implement it; it
+  bounds what any eviction policy could gain.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..errors import ConfigurationError
+from ..types import Connection
+from .base import Predictor
+
+__all__ = ["HintedPredictor", "OraclePredictor"]
+
+
+class HintedPredictor(Predictor):
+    """A base predictor plus compiler-pinned connections and flush points."""
+
+    def __init__(self, base: Predictor, pinned: set[Connection] | None = None) -> None:
+        self.base = base
+        self.pinned: set[Connection] = set(pinned or ())
+        self.flushes = 0
+
+    def pin(self, u: int, v: int) -> None:
+        self.pinned.add(Connection(u, v))
+
+    def unpin(self, u: int, v: int) -> None:
+        self.pinned.discard(Connection(u, v))
+
+    def on_use(self, u: int, v: int, t_ps: int) -> None:
+        self.base.on_use(u, v, t_ps)
+
+    def on_empty(self, u: int, v: int, t_ps: int) -> bool:
+        if Connection(u, v) in self.pinned:
+            return True
+        return self.base.on_empty(u, v, t_ps)
+
+    def expired(self, t_ps: int) -> list[Connection]:
+        return [c for c in self.base.expired(t_ps) if c not in self.pinned]
+
+    def on_flush(self, t_ps: int) -> None:
+        self.flushes += 1
+        self.pinned.clear()
+        self.base.on_flush(t_ps)
+
+    def stats(self) -> dict[str, int]:
+        out = dict(self.base.stats())
+        out.update(pinned=len(self.pinned), flushes=self.flushes)
+        return out
+
+
+class OraclePredictor(Predictor):
+    """Perfect-knowledge eviction: hold iff reused within the horizon.
+
+    ``future`` is the ordered list of connections the program will use.
+    The oracle consumes it as uses happen; ``on_empty`` answers by scanning
+    the next ``horizon`` future uses.
+    """
+
+    def __init__(self, future: list[tuple[int, int]], horizon: int = 64) -> None:
+        if horizon < 1:
+            raise ConfigurationError("horizon must be positive")
+        self._future: deque[Connection] = deque(Connection(u, v) for u, v in future)
+        self.horizon = horizon
+        self._held: set[Connection] = set()
+        self.holds = 0
+        self.rejections = 0
+
+    def on_use(self, u: int, v: int, t_ps: int) -> None:
+        conn = Connection(u, v)
+        # consume the matching future entry (tolerates reordering by
+        # scanning a small prefix)
+        for _ in range(min(len(self._future), self.horizon)):
+            head = self._future.popleft()
+            if head == conn:
+                break
+            self._future.append(head)  # rotate unmatched entries to the back
+        self._held.discard(conn)
+
+    def on_empty(self, u: int, v: int, t_ps: int) -> bool:
+        conn = Connection(u, v)
+        upcoming = list(self._future)[: self.horizon]
+        if conn in upcoming:
+            self._held.add(conn)
+            self.holds += 1
+            return True
+        self.rejections += 1
+        return False
+
+    def expired(self, t_ps: int) -> list[Connection]:
+        # a held connection expires when it is no longer in the horizon
+        upcoming = set(list(self._future)[: self.horizon])
+        out = [c for c in self._held if c not in upcoming]
+        self._held.difference_update(out)
+        return out
+
+    def on_flush(self, t_ps: int) -> None:
+        self._held.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {"holds": self.holds, "rejections": self.rejections}

@@ -1,0 +1,76 @@
+"""Online working-set tracking.
+
+The component the paper labels "Predictor" in Figure 1 observes request
+queues and configuration registers to reason about the application's
+working set.  :class:`WorkingSetTracker` is that observer: it maintains
+the set of connections used within a recent time window, from which the
+examples and ablations derive the *effective* working-set size, the
+optimal multiplexing degree it implies, and turnover (a live phase-change
+signal mirroring :func:`repro.compiled.phases.phase_boundaries`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..compiled.coloring import connection_degree
+from ..errors import ConfigurationError
+from ..types import Connection
+
+__all__ = ["WorkingSetTracker"]
+
+
+class WorkingSetTracker:
+    """Sliding-time-window tracker of the active connection working set."""
+
+    def __init__(self, n: int, window_ps: int) -> None:
+        if window_ps <= 0:
+            raise ConfigurationError("window must be positive")
+        self.n = n
+        self.window_ps = window_ps
+        #: connection -> last use time, kept in use order (oldest first)
+        self._last_use: OrderedDict[Connection, int] = OrderedDict()
+        self._size_history: list[tuple[int, int]] = []  # (time, size) samples
+
+    def on_use(self, u: int, v: int, t_ps: int) -> None:
+        conn = Connection(u, v)
+        self._last_use.pop(conn, None)
+        self._last_use[conn] = t_ps
+        self._expire(t_ps)
+
+    def _expire(self, t_ps: int) -> None:
+        cutoff = t_ps - self.window_ps
+        while self._last_use:
+            conn, last = next(iter(self._last_use.items()))
+            if last >= cutoff:
+                break
+            del self._last_use[conn]
+
+    def sample(self, t_ps: int) -> int:
+        """Record and return the working-set size at ``t_ps``."""
+        self._expire(t_ps)
+        size = len(self._last_use)
+        self._size_history.append((t_ps, size))
+        return size
+
+    @property
+    def working_set(self) -> set[Connection]:
+        return set(self._last_use)
+
+    @property
+    def size(self) -> int:
+        return len(self._last_use)
+
+    def required_degree(self) -> int:
+        """Multiplexing degree needed to cache the current working set."""
+        return connection_degree(list(self._last_use), self.n)
+
+    def turnover(self, other: set[Connection]) -> float:
+        """Fraction of ``other`` absent from the current working set."""
+        if not other:
+            return 0.0
+        return len(other - self.working_set) / len(other)
+
+    @property
+    def history(self) -> list[tuple[int, int]]:
+        return list(self._size_history)

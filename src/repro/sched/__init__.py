@@ -1,0 +1,35 @@
+"""Scheduler substrate: pre-scheduling logic, SL array, TDM counter, scheduler."""
+
+from .constrained import ConstrainedScheduler, FabricConstraint
+from .multislot import QueueDepthBoostPolicy
+from .multiunit import MultiUnitScheduler
+from .presched import PreschedResult, compute_l
+from .priority import (
+    FixedPriority,
+    RandomPriority,
+    RotationPolicy,
+    RoundRobinPriority,
+)
+from .scheduler import Scheduler, SchedulerPass
+from .slarray import PassOutcome, Toggle, wavefront_reference, wavefront_sparse
+from .tdm import TdmCounter
+
+__all__ = [
+    "ConstrainedScheduler",
+    "FabricConstraint",
+    "QueueDepthBoostPolicy",
+    "MultiUnitScheduler",
+    "PreschedResult",
+    "compute_l",
+    "FixedPriority",
+    "RandomPriority",
+    "RotationPolicy",
+    "RoundRobinPriority",
+    "Scheduler",
+    "SchedulerPass",
+    "PassOutcome",
+    "Toggle",
+    "wavefront_reference",
+    "wavefront_sparse",
+    "TdmCounter",
+]

@@ -1,0 +1,107 @@
+"""Scheduling under non-crossbar fabric constraints.
+
+Section 4: *"For the case of a crossbar fabric, the only constraints on B
+are that there is at most one non-zero entry in each row and at most one
+non-zero entry in each column.  More complicated constraints may be
+derived for fabrics that have limited permutation capabilities (e.g.
+multistage networks) or multi-paths from inputs to outputs (e.g. fat tree
+fabrics)."*
+
+:class:`ConstrainedScheduler` is the scheduler for those fabrics: it keeps
+the whole Figure-2 organisation (register file, B*, TDM counter, request
+latches, priority rotation) but replaces the SL array's port-availability
+wavefront with a greedy feasibility check against a **fabric constraint**
+object — anything with ``is_realizable(config) -> bool``, e.g.
+:class:`repro.fabric.multistage.OmegaNetwork` or
+:class:`repro.fabric.fattree.FatTree`.  Candidates are visited in the same
+rotated row-major order as the SL array, releases free resources for later
+candidates, and an establish is accepted only if the slot configuration
+stays realisable, so every invariant of the crossbar scheduler carries
+over.
+
+(The crossbar itself corresponds to the trivial constraint that
+:class:`~repro.fabric.config.ConfigMatrix` already enforces — for it, the
+systolic SL array of :mod:`repro.sched.slarray` is the efficient
+implementation; this class is the generalisation, not a replacement.)
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..fabric.config import ConfigMatrix
+from ..params import SystemParams
+from .presched import compute_l
+from .priority import RotationPolicy
+from .scheduler import Scheduler, SchedulerPass
+from .slarray import PassOutcome, Toggle
+
+__all__ = ["FabricConstraint", "ConstrainedScheduler"]
+
+
+class FabricConstraint(Protocol):
+    """Anything that can veto a slot configuration."""
+
+    def is_realizable(self, config: ConfigMatrix) -> bool: ...
+
+
+class ConstrainedScheduler(Scheduler):
+    """A scheduler whose insertions respect an arbitrary fabric predicate."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        k: int,
+        constraint: FabricConstraint,
+        rotation: RotationPolicy | None = None,
+    ) -> None:
+        super().__init__(params, k, rotation)
+        self.constraint = constraint
+
+    def sl_pass(self, slot: int | None = None) -> SchedulerPass:
+        if slot is None:
+            slot = self.next_dynamic_slot()
+            if slot is None:
+                self.counters.inc("passes_idle")
+                return SchedulerPass(None, None)
+        elif slot in self.registers.pinned:
+            raise SchedulingError(f"slot {slot} is pinned (preloaded)")
+
+        cfg = self.registers[slot]
+        pres = compute_l(
+            self.r_view,
+            cfg.b,
+            self.registers.b_star,
+            boost=self.boost if self.boost.any() else None,
+            hold=self.latched if self.latched.any() else None,
+        )
+        rows, cols = np.nonzero(pres.l)
+        outcome = PassOutcome()
+        if len(rows):
+            n = self.n
+            a, b = self.rotation.next_rotation()
+            order = np.lexsort(((cols - b) % n, (rows - a) % n))
+            for u, v in zip(rows[order].tolist(), cols[order].tolist()):
+                if cfg.b[u, v]:
+                    # release — always feasible (removing cannot violate)
+                    self.registers.release(slot, u, v)
+                    outcome.toggles.append(Toggle(u, v, establish=False))
+                    self.counters.inc("releases")
+                    continue
+                if cfg.output_of(u) is not None or cfg.input_of(v) is not None:
+                    outcome.blocked += 1
+                    continue
+                self.registers.establish(slot, u, v)
+                if self.constraint.is_realizable(cfg):
+                    outcome.toggles.append(Toggle(u, v, establish=True))
+                    self.counters.inc("establishes")
+                else:
+                    self.registers.release(slot, u, v)
+                    outcome.blocked += 1
+                    self.counters.inc("blocked_by_fabric")
+        self.counters.inc("passes")
+        self.counters.inc("blocked", outcome.blocked)
+        return SchedulerPass(slot, outcome)

@@ -1,0 +1,55 @@
+"""Extension 1 — multiple SL units.
+
+Section 4: *"It is possible to use two or more copies of the 'scheduling
+logic' to simultaneously schedule requests on different time slots.  The
+requests can be partitioned among the scheduling logic units or pipelined
+through them."*
+
+:class:`MultiUnitScheduler` drives ``n_units`` SL-array passes per SL clock
+period, each on a *different* dynamic slot.  The passes are applied in slot
+order within the clock period; because each establish consults the
+incrementally-updated ``B*``, two units never insert the same connection
+twice — this models the partitioned-requests variant of the extension
+(later units see earlier units' insertions, exactly as a pipelined hardware
+implementation would).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..params import SystemParams
+from .priority import RotationPolicy
+from .scheduler import Scheduler, SchedulerPass
+
+__all__ = ["MultiUnitScheduler"]
+
+
+class MultiUnitScheduler(Scheduler):
+    """A scheduler with ``n_units`` parallel copies of the scheduling logic."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        k: int,
+        n_units: int,
+        rotation: RotationPolicy | None = None,
+    ) -> None:
+        if n_units < 1:
+            raise ConfigurationError(f"need at least one SL unit, got {n_units}")
+        super().__init__(params, k, rotation)
+        self.n_units = n_units
+
+    def sl_tick(self) -> list[SchedulerPass]:
+        """One SL clock period: run up to ``n_units`` passes on distinct slots."""
+        dynamic = self.registers.dynamic_slots()
+        passes: list[SchedulerPass] = []
+        seen: set[int] = set()
+        for _ in range(min(self.n_units, len(dynamic))):
+            slot = self.next_dynamic_slot()
+            if slot is None or slot in seen:
+                break
+            seen.add(slot)
+            passes.append(self.sl_pass(slot))
+        if not passes:
+            passes.append(self.sl_pass())  # records the idle pass
+        return passes

@@ -1,0 +1,91 @@
+"""Pre-scheduling logic — Table 1 of the paper.
+
+For the slot ``s`` being scheduled, the pre-scheduling logic compares three
+boolean matrices element-wise:
+
+* ``R`` — the request matrix (``R[u,v]`` = NIC ``u`` has traffic for ``v``),
+* ``B_s`` — the configuration currently loaded for slot ``s``,
+* ``B*`` — the OR of all K configurations (connection realised in *any* slot),
+
+and produces ``L``, the "change needed" matrix:
+
+====  =====  =====  ================================================  ===
+R     B*     B(s)   case                                              L
+====  =====  =====  ================================================  ===
+0     x      0      not requested, not realised in s                  0
+0     x      1      not requested but realised in s  (**release**)    1
+1     1      x      requested and already realised somewhere          0
+1     0      0      requested, realised nowhere     (**establish**)   1
+====  =====  =====  ================================================  ===
+
+(The combination R=1, B*=0, B(s)=1 cannot occur because B(s)=1 implies
+B*=1.)
+
+All operations are vectorised; the function is called once per SL clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import InvariantError
+
+__all__ = ["PreschedResult", "compute_l"]
+
+
+@dataclass(slots=True, frozen=True)
+class PreschedResult:
+    """Outcome of one pre-scheduling evaluation.
+
+    ``l`` is the combined change matrix; ``release`` and ``establish`` are
+    its two disjoint components (useful for statistics and for the sparse
+    SL-array fast path).
+    """
+
+    l: np.ndarray
+    release: np.ndarray
+    establish: np.ndarray
+
+
+def compute_l(
+    r: np.ndarray,
+    b_s: np.ndarray,
+    b_star: np.ndarray,
+    *,
+    boost: np.ndarray | None = None,
+    hold: np.ndarray | None = None,
+    validate: bool = False,
+) -> PreschedResult:
+    """Evaluate Table 1 for one slot.
+
+    Parameters
+    ----------
+    r, b_s, b_star:
+        The three input matrices (boolean, same square shape).
+    boost:
+        Optional mask for the multi-slot extension (Section 4, extension
+        2): connections flagged here may be established in this slot even
+        though they are already realised in another one.
+    hold:
+        Optional mask of connections that must not be released even though
+        their request line dropped — the request-latch extension (Section
+        4, extension 3) used by the dynamic predictors.
+    validate:
+        Check matrix shapes/dtypes and the B(s) => B* implication.
+    """
+    if validate:
+        for name, m in (("r", r), ("b_s", b_s), ("b_star", b_star)):
+            if m.shape != r.shape or m.ndim != 2 or m.shape[0] != m.shape[1]:
+                raise InvariantError(f"{name} must be square and same-shaped")
+            if m.dtype != np.bool_:
+                raise InvariantError(f"{name} must be boolean")
+        if np.any(b_s & ~b_star):
+            raise InvariantError("B(s) set where B* is clear")
+
+    effective_r = r if hold is None else (r | hold)
+    release = ~effective_r & b_s
+    can_establish = ~b_star if boost is None else (~b_star | boost)
+    establish = effective_r & can_establish & ~b_s
+    return PreschedResult(release | establish, release, establish)

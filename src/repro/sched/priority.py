@@ -1,0 +1,87 @@
+"""Priority rotation policies for the SL array.
+
+The paper (end of Section 4): the default initialisation gives requests
+with lower ``(u, v)`` indices strictly higher priority; *"a more fair
+schedule can be obtained by rotating the priority such that A[a,v] = AO_v
+and D[u,b] = AI_u, where a and b are selected randomly or through a round
+robin scheme"*.
+
+A policy yields the injection point ``(a, b)`` for each SL pass.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "RotationPolicy",
+    "FixedPriority",
+    "RoundRobinPriority",
+    "RandomPriority",
+]
+
+
+class RotationPolicy(ABC):
+    """Produces the (a, b) priority injection point for successive passes."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError("rotation policy needs a positive port count")
+        self.n = n
+
+    @abstractmethod
+    def next_rotation(self) -> tuple[int, int]:
+        """The injection point to use for the next SL pass."""
+
+    def reset(self) -> None:
+        """Return to the initial state (default: nothing to do)."""
+
+
+class FixedPriority(RotationPolicy):
+    """The paper's baseline: port (0, 0) always wins ties."""
+
+    def __init__(self, n: int, a: int = 0, b: int = 0) -> None:
+        super().__init__(n)
+        if not (0 <= a < n and 0 <= b < n):
+            raise ConfigurationError(f"injection point ({a},{b}) out of range")
+        self._point = (a, b)
+
+    def next_rotation(self) -> tuple[int, int]:
+        return self._point
+
+
+class RoundRobinPriority(RotationPolicy):
+    """Advance the injection point by one row and one column per pass."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._a = 0
+        self._b = 0
+
+    def next_rotation(self) -> tuple[int, int]:
+        point = (self._a, self._b)
+        self._a = (self._a + 1) % self.n
+        self._b = (self._b + 1) % self.n
+        return point
+
+    def reset(self) -> None:
+        self._a = 0
+        self._b = 0
+
+
+class RandomPriority(RotationPolicy):
+    """Draw the injection point uniformly at random each pass (seeded)."""
+
+    def __init__(self, n: int, rng: np.random.Generator) -> None:
+        super().__init__(n)
+        self._rng = rng
+
+    def next_rotation(self) -> tuple[int, int]:
+        return (
+            int(self._rng.integers(self.n)),
+            int(self._rng.integers(self.n)),
+        )

@@ -1,0 +1,176 @@
+"""The full connection scheduler (Figure 2 of the paper).
+
+One :class:`Scheduler` owns:
+
+* the configuration register file ``B(0) .. B(K-1)`` and the derived ``B*``;
+* the scheduler's *view* of the request matrix ``R`` (the network model
+  updates it after the request-wire delay);
+* the request **latches** of extension 3 (used by the dynamic predictors
+  to hold a connection after its request line drops);
+* an **SL counter** that round-robins successive passes over the slots the
+  dynamic scheduler may modify (preloaded slots are pinned and skipped);
+* a :class:`~repro.sched.priority.RotationPolicy` for fairness.
+
+Each call to :meth:`sl_pass` models one SL clock period: pick a slot,
+evaluate Table 1, run the SL array, and apply the resulting toggles.  The
+caller (the TDM network model) invokes it every ``scheduler_pass_ps``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..fabric.config import ConfigMatrix
+from ..fabric.registers import ConfigRegisterFile
+from ..params import SystemParams
+from ..sim.stats import Counter
+from .presched import compute_l
+from .priority import FixedPriority, RotationPolicy
+from .slarray import PassOutcome, wavefront_sparse
+from .tdm import TdmCounter
+
+__all__ = ["Scheduler", "SchedulerPass"]
+
+
+@dataclass(slots=True, frozen=True)
+class SchedulerPass:
+    """Record of one SL clock period."""
+
+    slot: int | None  # None: no dynamic slot available to schedule
+    outcome: PassOutcome | None
+
+    @property
+    def changed(self) -> bool:
+        return self.outcome is not None and bool(self.outcome.toggles)
+
+
+class Scheduler:
+    """The paper's scheduler: SL array + register file + TDM counter."""
+
+    def __init__(
+        self,
+        params: SystemParams,
+        k: int,
+        rotation: RotationPolicy | None = None,
+    ) -> None:
+        n = params.n_ports
+        self.params = params
+        self.registers = ConfigRegisterFile(n, k)
+        self.tdm = TdmCounter(self.registers)
+        self.rotation = rotation if rotation is not None else FixedPriority(n)
+        #: the scheduler's (wire-delayed) view of the request matrix
+        self.r_view = np.zeros((n, n), dtype=bool)
+        #: request latches — extension 3 (predictor-held connections)
+        self.latched = np.zeros((n, n), dtype=bool)
+        #: multi-slot boost mask — extension 2
+        self.boost = np.zeros((n, n), dtype=bool)
+        self._sl_cursor = 0
+        self.counters = Counter()
+
+    # -- request plane ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.registers.n
+
+    @property
+    def k(self) -> int:
+        return self.registers.k
+
+    def set_request(self, u: int, v: int, value: bool) -> None:
+        """Update one bit of the scheduler's request view."""
+        self.r_view[u, v] = value
+
+    def latch(self, u: int, v: int, value: bool = True) -> None:
+        """Hold (or stop holding) connection (u, v) past its request drop."""
+        self.latched[u, v] = value
+
+    def clear_latches(self) -> None:
+        self.latched[:] = False
+
+    # -- compiled-communication plane (extensions 4 & 5) ------------------------
+
+    def preload(self, configs: list[ConfigMatrix], *, pin: bool = True) -> None:
+        """Load ``configs`` into the first ``len(configs)`` slots.
+
+        ``pin=True`` (the default) reserves those slots for the compiled
+        pattern: the dynamic scheduler will neither insert into nor release
+        from them.
+        """
+        if len(configs) > self.k:
+            raise SchedulingError(
+                f"cannot preload {len(configs)} configurations into K={self.k}"
+            )
+        for s, cfg in enumerate(configs):
+            self.registers.load(s, cfg, pin=pin)
+        self.counters.inc("preloads", len(configs))
+
+    def load_slot(self, slot: int, config: ConfigMatrix, *, pin: bool = True) -> None:
+        """Load one configuration into a specific slot."""
+        self.registers.load(slot, config, pin=pin)
+        self.counters.inc("preloads")
+
+    def flush(self) -> None:
+        """Extension 4: clear every configuration and every latch."""
+        self.registers.flush()
+        self.clear_latches()
+        self.counters.inc("flushes")
+
+    # -- the SL clock ------------------------------------------------------------
+
+    def next_dynamic_slot(self) -> int | None:
+        """Round-robin choice of the slot the next pass will schedule."""
+        dynamic = self.registers.dynamic_slots()
+        if not dynamic:
+            return None
+        slot = dynamic[self._sl_cursor % len(dynamic)]
+        self._sl_cursor += 1
+        return slot
+
+    def sl_pass(self, slot: int | None = None) -> SchedulerPass:
+        """One SL clock period: schedule insertions/releases for one slot."""
+        if slot is None:
+            slot = self.next_dynamic_slot()
+            if slot is None:
+                self.counters.inc("passes_idle")
+                return SchedulerPass(None, None)
+        elif slot in self.registers.pinned:
+            raise SchedulingError(f"slot {slot} is pinned (preloaded)")
+
+        cfg = self.registers[slot]
+        pres = compute_l(
+            self.r_view,
+            cfg.b,
+            self.registers.b_star,
+            boost=self.boost if self.boost.any() else None,
+            hold=self.latched if self.latched.any() else None,
+        )
+        rows, cols = np.nonzero(pres.l)
+        outcome = wavefront_sparse(
+            rows,
+            cols,
+            cfg.b,
+            cfg.output_busy(),
+            cfg.input_busy(),
+            rotation=self.rotation.next_rotation(),
+        )
+        for t in outcome.toggles:
+            self.registers.toggle(slot, t.u, t.v)
+            self.counters.inc("establishes" if t.establish else "releases")
+        self.counters.inc("passes")
+        self.counters.inc("blocked", outcome.blocked)
+        return SchedulerPass(slot, outcome)
+
+    # -- convenience ---------------------------------------------------------------
+
+    def established_anywhere(self, u: int, v: int) -> bool:
+        return bool(self.registers.b_star[u, v])
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler(n={self.n}, k={self.k}, "
+            f"active={self.registers.active_slots()}, pinned={sorted(self.registers.pinned)})"
+        )

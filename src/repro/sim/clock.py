@@ -1,0 +1,94 @@
+"""Time units and conversions.
+
+All simulation time is an ``int`` count of **picoseconds**.  Every timing
+constant of the paper is an exact integer in this unit:
+
+* one byte at 6.4 Gb/s is exactly ``1250`` ps;
+* a 100 ns TDM slot is exactly ``100_000`` ps;
+* the 80 ns scheduler pass is exactly ``80_000`` ps.
+
+Using integers keeps event ordering exact and the simulation bit-for-bit
+deterministic across platforms — there is no floating point drift anywhere
+in the engine.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from functools import lru_cache
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "PS_PER_NS",
+    "PS_PER_US",
+    "PS_PER_MS",
+    "ns",
+    "us",
+    "ps_to_ns",
+    "byte_time_ps",
+    "bytes_to_ps",
+    "ps_to_bytes",
+]
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+
+
+def ns(value: float | int) -> int:
+    """Convert nanoseconds to integer picoseconds.
+
+    Accepts floats for convenience (``ns(0.5)``) but the result must be an
+    exact integer number of picoseconds.
+    """
+    out = value * PS_PER_NS
+    rounded = round(out)
+    if abs(out - rounded) > 1e-9:
+        raise ConfigurationError(f"{value} ns is not an integer picosecond count")
+    return int(rounded)
+
+
+def us(value: float | int) -> int:
+    """Convert microseconds to integer picoseconds."""
+    return ns(value * 1_000)
+
+
+def ps_to_ns(value_ps: int) -> float:
+    """Convert picoseconds to (float) nanoseconds, for reporting only."""
+    return value_ps / PS_PER_NS
+
+
+@lru_cache(maxsize=64)
+def byte_time_ps(gbps: float) -> int:
+    """Time to serialise one byte on a link of ``gbps`` gigabits per second.
+
+    The result must be an exact integer number of picoseconds; the paper's
+    6.4 Gb/s links give exactly 1250 ps/byte.  Cached — the simulators read
+    it on every slot tick.
+    """
+    if gbps <= 0:
+        raise ConfigurationError(f"link rate must be positive, got {gbps}")
+    # Go through the decimal string so that 6.4 means 32/5 exactly rather
+    # than the nearest binary float.
+    exact = Fraction(8_000) / Fraction(str(gbps))
+    if exact.denominator != 1:
+        raise ConfigurationError(
+            f"a {gbps} Gb/s link does not give an integer ps/byte "
+            f"({float(exact):.3f} ps); pick a rate with integer byte time"
+        )
+    return int(exact)
+
+
+def bytes_to_ps(n_bytes: int, byte_ps: int) -> int:
+    """Serialisation time of ``n_bytes`` at ``byte_ps`` picoseconds/byte."""
+    if n_bytes < 0:
+        raise ConfigurationError("byte count must be non-negative")
+    return n_bytes * byte_ps
+
+
+def ps_to_bytes(duration_ps: int, byte_ps: int) -> int:
+    """How many whole bytes fit in ``duration_ps`` at ``byte_ps`` per byte."""
+    if duration_ps < 0:
+        raise ConfigurationError("duration must be non-negative")
+    return duration_ps // byte_ps

@@ -1,0 +1,196 @@
+"""A deterministic discrete-event simulation kernel.
+
+The engine is a classic binary-heap event loop.  Three properties matter for
+reproducing the paper's cycle-accurate results:
+
+* **integer time** — events are stamped with integer picoseconds, so there
+  is never floating point tie ambiguity;
+* **total ordering** — simultaneous events are ordered by an explicit
+  ``priority`` (lower runs first) and then by insertion sequence, so a run
+  is bit-for-bit repeatable;
+* **cancellation** — periodic processes (slot clocks, SL clocks) and
+  time-out predictors need to cancel pending events cheaply; cancelled
+  events stay in the heap but are skipped when popped.
+
+Components register callbacks rather than subclassing anything; the network
+models in :mod:`repro.networks` drive all their state machines through one
+:class:`Simulator` instance per run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Event", "Simulator", "Priority"]
+
+
+class Priority:
+    """Well-known event priorities (lower value runs first at equal time).
+
+    The relative order encodes the hardware's intra-instant causality: at a
+    slot boundary the fabric is reconfigured before any data moves, and
+    request-wire updates are seen by the scheduler before the SL pass that
+    could consume them.
+    """
+
+    FABRIC = 0  # fabric reconfiguration / TDM counter advance
+    WIRE = 10  # request & grant wire arrivals
+    SCHEDULER = 20  # SL array passes
+    TRANSFER = 30  # data movement within a slot
+    NIC = 40  # queue state changes, message completion
+    MONITOR = 90  # measurement probes, drained-detection
+    DEFAULT = 50
+
+
+@dataclass(slots=True)
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`."""
+
+    time: int
+    priority: int
+    seq: int
+    fn: Callable[..., Any] | None
+    args: tuple
+
+    def cancel(self) -> None:
+        """Prevent the event from running; safe to call multiple times."""
+        self.fn = None
+
+    @property
+    def cancelled(self) -> bool:
+        return self.fn is None
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+
+@dataclass
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(ns(100), my_callback, arg1, arg2)
+        sim.run()
+
+    ``run`` executes events in time order until the heap is empty, an
+    ``until`` horizon is reached, or ``stop()`` is called from inside a
+    callback.
+
+    Heap entries are plain ``(time, priority, seq, event)`` tuples so that
+    ``heapq`` compares them in C: the unique ``seq`` guarantees the tuple
+    comparison never falls through to the Event object.  (Profiling showed
+    Python-level ``Event.__lt__`` dominating worm-heavy simulations.)
+    """
+
+    now: int = 0
+    _heap: list[tuple[int, int, int, Event]] = field(default_factory=list)
+    _seq: int = 0
+    _stopped: bool = False
+    events_executed: int = 0
+
+    def schedule(
+        self,
+        delay_ps: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.DEFAULT,
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay_ps`` after the current time."""
+        if delay_ps < 0:
+            raise SimulationError(f"cannot schedule {delay_ps} ps in the past")
+        return self.schedule_at(self.now + delay_ps, fn, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time_ps: int,
+        fn: Callable[..., Any],
+        *args: Any,
+        priority: int = Priority.DEFAULT,
+    ) -> Event:
+        """Schedule ``fn(*args)`` at absolute time ``time_ps``."""
+        if time_ps < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time_ps} ps, current time is {self.now} ps"
+            )
+        ev = Event(time_ps, priority, self._seq, fn, args)
+        heapq.heappush(self._heap, (time_ps, priority, self._seq, ev))
+        self._seq += 1
+        return ev
+
+    def stop(self) -> None:
+        """Stop the event loop after the current callback returns."""
+        self._stopped = True
+
+    def peek_time(self) -> int | None:
+        """Time of the next non-cancelled event, or None if the heap is empty."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Absolute time horizon (inclusive); events after it stay queued.
+        max_events:
+            Safety valve for tests: raise after this many executions.
+
+        Returns the simulation time after the last executed event.
+        """
+        self._stopped = False
+        executed = 0
+        while self._heap and not self._stopped:
+            entry = heapq.heappop(self._heap)
+            ev = entry[3]
+            if ev.cancelled:
+                continue
+            if until is not None and ev.time > until:
+                heapq.heappush(self._heap, entry)
+                self.now = until
+                break
+            if ev.time < self.now:  # pragma: no cover - heap guarantees order
+                raise SimulationError("event heap yielded a past event")
+            self.now = ev.time
+            fn, args = ev.fn, ev.args
+            ev.cancel()  # guard against re-execution through stale references
+            assert fn is not None
+            fn(*args)
+            executed += 1
+            self.events_executed += 1
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a runaway loop"
+                )
+        return self.now
+
+    def run_until_idle(self, idle_check: Callable[[], bool], poll_ps: int) -> int:
+        """Run, polling ``idle_check`` every ``poll_ps``; stop when it is true.
+
+        Useful for networks with periodic clocks that never drain the heap
+        on their own.
+        """
+        def probe() -> None:
+            if idle_check():
+                self.stop()
+            else:
+                self.schedule(poll_ps, probe, priority=Priority.MONITOR)
+
+        self.schedule(0, probe, priority=Priority.MONITOR)
+        return self.run()
+
+    @property
+    def pending(self) -> int:
+        """Number of (possibly cancelled) events still queued."""
+        return len(self._heap)

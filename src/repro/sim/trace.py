@@ -1,0 +1,71 @@
+"""Structured event tracing.
+
+A :class:`Tracer` records tuples of ``(time_ps, kind, payload)`` into a
+bounded ring buffer.  Tracing is off by default — the network models call
+``tracer.record`` unconditionally, but a disabled tracer short-circuits to a
+no-op, so the cost in the hot path is one attribute check.
+
+Traces exist for debugging and for the worked examples; experiments never
+depend on them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "Tracer", "NULL_TRACER"]
+
+
+@dataclass(slots=True, frozen=True)
+class TraceEvent:
+    time_ps: int
+    kind: str
+    payload: dict[str, Any]
+
+    def __str__(self) -> str:
+        fields = " ".join(f"{k}={v}" for k, v in sorted(self.payload.items()))
+        return f"[{self.time_ps/1000:.1f} ns] {self.kind} {fields}"
+
+
+class Tracer:
+    """Bounded in-memory trace recorder."""
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._buf: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def record(self, time_ps: int, kind: str, **payload: Any) -> None:
+        if not self.enabled:
+            return
+        if len(self._buf) == self._buf.maxlen:
+            self.dropped += 1
+        self._buf.append(TraceEvent(time_ps, kind, payload))
+
+    def events(self, kind: str | None = None) -> Iterator[TraceEvent]:
+        """Iterate recorded events, optionally filtered by kind."""
+        for ev in self._buf:
+            if kind is None or ev.kind == kind:
+                yield ev
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+
+class _NullTracer(Tracer):
+    """A permanently disabled tracer shared by all runs that do not trace."""
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1, enabled=False)
+
+    def record(self, time_ps: int, kind: str, **payload: Any) -> None:
+        return None
+
+
+NULL_TRACER = _NullTracer()

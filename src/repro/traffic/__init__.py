@@ -1,0 +1,50 @@
+"""Workload generators: the paper's patterns plus synthetic extras."""
+
+from .alltoall import AllToAllPattern, shift_permutation
+from .base import TrafficPattern, TrafficPhase, assign_seq, mesh_dims
+from .hybrid import HybridPattern
+from .mesh import (
+    OrderedMeshPattern,
+    RandomMeshPattern,
+    neighbor_permutations,
+    torus_neighbors,
+)
+from .nas import NasLikeTrace, PHASE_ARCHETYPES
+from .openloop import OpenLoopUniformPattern
+from .scatter import ScatterPattern
+from .tracefile import TraceFilePattern, parse_trace, save_trace
+from .synthetic import (
+    BitComplementPattern,
+    HotspotPattern,
+    PermutationPattern,
+    TornadoPattern,
+    UniformRandomPattern,
+)
+from .twophase import TwoPhasePattern
+
+__all__ = [
+    "AllToAllPattern",
+    "shift_permutation",
+    "TrafficPattern",
+    "TrafficPhase",
+    "assign_seq",
+    "mesh_dims",
+    "HybridPattern",
+    "OrderedMeshPattern",
+    "RandomMeshPattern",
+    "neighbor_permutations",
+    "torus_neighbors",
+    "NasLikeTrace",
+    "OpenLoopUniformPattern",
+    "PHASE_ARCHETYPES",
+    "ScatterPattern",
+    "BitComplementPattern",
+    "HotspotPattern",
+    "PermutationPattern",
+    "TornadoPattern",
+    "UniformRandomPattern",
+    "TwoPhasePattern",
+    "TraceFilePattern",
+    "parse_trace",
+    "save_trace",
+]

@@ -1,0 +1,51 @@
+"""All-to-all exchange.
+
+Every node sends one message to every other node.  Message order at each
+source follows the classic shifted schedule — node ``u``'s ``i``-th message
+goes to ``(u + i) mod N`` — so the offered load at any instant is close to
+a permutation.  The connection set is the complete bipartite set minus the
+diagonal: ``N(N-1)`` connections, decomposable into exactly ``N - 1`` shift
+permutations (the preload schedule for this phase).
+"""
+
+from __future__ import annotations
+
+from ..fabric.config import ConfigMatrix
+from ..sim.rng import RngStreams
+from ..types import Connection, Message
+from .base import TrafficPattern, TrafficPhase
+
+__all__ = ["AllToAllPattern", "shift_permutation"]
+
+
+def shift_permutation(n: int, shift: int) -> list[int]:
+    """The permutation dest[u] = (u + shift) mod n (shift != 0 mod n)."""
+    if shift % n == 0:
+        raise ValueError("shift 0 maps nodes to themselves")
+    return [(u + shift) % n for u in range(n)]
+
+
+class AllToAllPattern(TrafficPattern):
+    """Complete exchange: each node sends to all N-1 others."""
+
+    name = "all-to-all"
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        n = self.n_ports
+        msgs: list[Message] = []
+        # round i: every node sends to its shift-i partner (a permutation),
+        # so sources progress through disjoint destinations in lock-step
+        for shift in range(1, n):
+            for u in range(n):
+                msgs.append(self._msg(u, (u + shift) % n))
+        static = {Connection(u, v) for u in range(n) for v in range(n) if u != v}
+        # program-order preload: the shift permutations, in round order
+        preload = [
+            ConfigMatrix.from_permutation(shift_permutation(n, s))
+            for s in range(1, n)
+        ]
+        return [
+            TrafficPhase(
+                self.name, msgs, static_conns=static, preload_configs=preload
+            )
+        ]

@@ -1,0 +1,120 @@
+"""Traffic pattern framework.
+
+A :class:`TrafficPattern` turns its parameters into one or more
+:class:`TrafficPhase` objects.  A *phase* matches the paper's notion of a
+communication working set ``W(j)``: a batch of messages whose connection
+set is (potentially) cacheable in the network at once.  Network models
+inject phase ``j+1`` only after phase ``j`` has fully drained — the
+barrier a bulk-synchronous parallel program would impose.
+
+Each phase also reports which of its connections are *statically known*
+(compile-time determinable in the paper's terminology).  The compiled
+communication layer (:mod:`repro.compiled`) turns exactly that set into
+preloaded configurations; the dynamic scheduler handles the rest.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..errors import TrafficError
+from ..sim.rng import RngStreams
+from ..types import Connection, Message
+
+__all__ = ["TrafficPhase", "TrafficPattern", "mesh_dims", "assign_seq"]
+
+
+@dataclass(slots=True)
+class TrafficPhase:
+    """One communication working set: messages plus static-knowledge info."""
+
+    name: str
+    messages: list[Message]
+    #: connections the compiler could know before the phase runs
+    static_conns: set[Connection] = field(default_factory=set)
+    #: optional compiled preload schedule: configurations in *program order*
+    #: (a compiler that knows the send order emits batches aligned with it;
+    #: when absent, the generic edge-colouring compiler is used instead)
+    preload_configs: list | None = None
+
+    def connection_set(self) -> set[Connection]:
+        """All distinct connections the phase's traffic uses."""
+        return {m.connection for m in self.messages}
+
+    def dynamic_conns(self) -> set[Connection]:
+        """Connections not statically known (need run-time scheduling)."""
+        return self.connection_set() - self.static_conns
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.size for m in self.messages)
+
+    def __post_init__(self) -> None:
+        if not self.messages:
+            raise TrafficError(f"phase {self.name!r} has no messages")
+
+
+class TrafficPattern(ABC):
+    """Base class for workload generators.
+
+    Subclasses implement :meth:`build_phases`; the public :meth:`phases`
+    wraps it with sequence numbering so every message in a run carries a
+    unique ``seq``.
+    """
+
+    #: short name used in reports ("scatter", "ordered-mesh", ...)
+    name: str = "pattern"
+
+    def __init__(self, n_ports: int, size_bytes: int) -> None:
+        if n_ports < 2:
+            raise TrafficError("patterns need at least two ports")
+        if size_bytes <= 0:
+            raise TrafficError("message size must be positive")
+        self.n_ports = n_ports
+        self.size_bytes = size_bytes
+
+    @abstractmethod
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        """Generate the phase list (messages carry seq = 0; fixed later)."""
+
+    def phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        """Generate phases with globally unique message sequence numbers."""
+        out = self.build_phases(rng)
+        assign_seq(out)
+        return out
+
+    def total_bytes(self, rng: RngStreams) -> int:
+        return sum(p.total_bytes for p in self.phases(rng))
+
+    def _msg(self, src: int, dst: int, size: int | None = None) -> Message:
+        return Message(src=src, dst=dst, size=size or self.size_bytes)
+
+
+def assign_seq(phases: list[TrafficPhase]) -> None:
+    """Stamp unique, deterministic sequence numbers across all phases."""
+    counter = itertools.count()
+    for phase in phases:
+        for msg in phase.messages:
+            msg.seq = next(counter)
+
+
+def mesh_dims(n: int) -> tuple[int, int]:
+    """Most-square (rows, cols) factorisation of ``n`` with both dims >= 2.
+
+    The paper's 128-processor system maps to a 16 x 8 torus.  Raises for
+    node counts (primes, < 4) that admit no such factorisation.
+    """
+    if n < 4:
+        raise TrafficError(f"cannot build a 2-D mesh of {n} nodes")
+    best: tuple[int, int] | None = None
+    r = int(n**0.5)
+    while r >= 2:
+        if n % r == 0 and n // r >= 2:
+            best = (max(r, n // r), min(r, n // r))
+            break
+        r -= 1
+    if best is None:
+        raise TrafficError(f"{n} nodes do not factor into a 2-D mesh")
+    return best

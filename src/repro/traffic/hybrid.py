@@ -1,0 +1,90 @@
+"""The hybrid determinism pattern (Figure 5 of the paper).
+
+Paper, Section 5: *"a percentage of the communications are to specific
+processors and the remaining are randomly sent to any processor.  We select
+a multiplexing degree and we use k slots to preload the static patterns,
+while the other 3-k slots are used to schedule dynamic communication."*
+
+Each node owns ``n_static`` *specific* destinations — the ring-shift
+partners ``(u + 1) mod N, (u + 2) mod N, ...`` — so the static pattern is a
+set of ``n_static`` permutations, each preloadable into one configuration.
+Every message independently targets a static destination with probability
+``determinism`` (chosen round-robin among the static partners) and a
+uniformly random non-self destination otherwise.
+"""
+
+from __future__ import annotations
+
+from ..errors import TrafficError
+from ..fabric.config import ConfigMatrix
+from ..sim.rng import RngStreams
+from ..types import Connection, Message
+from .alltoall import shift_permutation
+from .base import TrafficPattern, TrafficPhase
+
+__all__ = ["HybridPattern"]
+
+
+class HybridPattern(TrafficPattern):
+    """Mixed static/random traffic parameterised by a determinism fraction."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        n_ports: int,
+        size_bytes: int,
+        determinism: float,
+        messages_per_node: int = 32,
+        n_static: int = 2,
+    ) -> None:
+        super().__init__(n_ports, size_bytes)
+        if not 0.0 <= determinism <= 1.0:
+            raise TrafficError(f"determinism must be in [0,1], got {determinism}")
+        if not 1 <= n_static < n_ports:
+            raise TrafficError(f"n_static {n_static} out of range")
+        if messages_per_node < 1:
+            raise TrafficError("need at least one message per node")
+        self.determinism = determinism
+        self.messages_per_node = messages_per_node
+        self.n_static = n_static
+
+    def static_permutations(self) -> list[list[int]]:
+        """The static pattern: one ring-shift permutation per static partner."""
+        return [
+            shift_permutation(self.n_ports, s) for s in range(1, self.n_static + 1)
+        ]
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        n = self.n_ports
+        gen = rng.get(f"{self.name}-d{self.determinism}")
+        msgs: list[Message] = []
+        # interleave rounds so the instantaneous load mixes static/random
+        for i in range(self.messages_per_node):
+            # one coin and one random destination per node per round
+            coins = gen.random(n)
+            randoms = gen.integers(0, n - 1, size=n)
+            for u in range(n):
+                if coins[u] < self.determinism:
+                    dst = (u + 1 + i % self.n_static) % n
+                else:
+                    dst = int(randoms[u])
+                    if dst >= u:  # skip self without biasing
+                        dst += 1
+                msgs.append(self._msg(u, dst))
+        static = {
+            Connection(u, (u + s) % n)
+            for u in range(n)
+            for s in range(1, self.n_static + 1)
+        }
+        return [
+            TrafficPhase(
+                f"hybrid-d{int(self.determinism * 100)}",
+                msgs,
+                static_conns=static,
+                preload_configs=[
+                    ConfigMatrix.from_permutation(p)
+                    for p in self.static_permutations()
+                ],
+            )
+        ]

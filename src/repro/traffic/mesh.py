@@ -1,0 +1,134 @@
+"""Nearest-neighbour 2-D mesh patterns.
+
+Paper, Section 5: *"Random Mesh represents nearest neighbor communications
+in a 2D mesh but without any predictability while Ordered Mesh represents
+an ordered nearest neighbor communication pattern."*  Each node has four
+favoured destinations — its torus neighbours East, West, North, South
+(wrap-around keeps the destination working set at exactly four for every
+node, matching the paper's "4 destinations were used").
+
+* :class:`OrderedMeshPattern` — every node sends its four messages in the
+  fixed global order E, W, N, S each round.  The four rounds' connection
+  sets are four disjoint permutations, ideal for preloading.
+* :class:`RandomMeshPattern` — identical messages, but each node permutes
+  the destination order independently at random each round: the *set* is
+  still local (4 destinations) but the *sequence* is unpredictable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fabric.config import ConfigMatrix
+from ..sim.rng import RngStreams
+from ..types import Connection, Message
+from .base import TrafficPattern, TrafficPhase, mesh_dims
+
+__all__ = [
+    "torus_neighbors",
+    "neighbor_permutations",
+    "OrderedMeshPattern",
+    "RandomMeshPattern",
+]
+
+_DIRECTIONS = ("E", "W", "N", "S")
+
+
+def torus_neighbors(n: int) -> dict[int, dict[str, int]]:
+    """E/W/N/S torus neighbour of every node on the mesh_dims(n) torus."""
+    rows, cols = mesh_dims(n)
+    out: dict[int, dict[str, int]] = {}
+    for node in range(n):
+        r, c = divmod(node, cols)
+        out[node] = {
+            "E": r * cols + (c + 1) % cols,
+            "W": r * cols + (c - 1) % cols,
+            "N": ((r - 1) % rows) * cols + c,
+            "S": ((r + 1) % rows) * cols + c,
+        }
+    return out
+
+
+def neighbor_permutations(n: int) -> dict[str, list[int]]:
+    """The four global shift permutations (dest[u] per direction).
+
+    Each direction's map is a permutation of the nodes, so each fits in a
+    single crossbar configuration — the natural 4-slot preload for mesh
+    traffic.
+    """
+    nbrs = torus_neighbors(n)
+    return {d: [nbrs[u][d] for u in range(n)] for d in _DIRECTIONS}
+
+
+class _MeshBase(TrafficPattern):
+    """Shared machinery for the two mesh variants."""
+
+    def __init__(self, n_ports: int, size_bytes: int, rounds: int = 1) -> None:
+        super().__init__(n_ports, size_bytes)
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        self.rounds = rounds
+        self.neighbors = torus_neighbors(n_ports)
+
+    def _static_conns(self) -> set[Connection]:
+        return {
+            Connection(u, v)
+            for u, dirs in self.neighbors.items()
+            for v in dirs.values()
+        }
+
+    def _preload_configs(self) -> list[ConfigMatrix]:
+        """The four direction-shift permutations, in E/W/N/S order."""
+        perms = neighbor_permutations(self.n_ports)
+        return [ConfigMatrix.from_permutation(perms[d]) for d in _DIRECTIONS]
+
+
+class OrderedMeshPattern(_MeshBase):
+    """All nodes send E, W, N, S in the same fixed order every round."""
+
+    name = "ordered-mesh"
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        msgs: list[Message] = []
+        for _ in range(self.rounds):
+            for direction in _DIRECTIONS:
+                for u in range(self.n_ports):
+                    msgs.append(self._msg(u, self.neighbors[u][direction]))
+        return [
+            TrafficPhase(
+                self.name,
+                msgs,
+                static_conns=self._static_conns(),
+                preload_configs=self._preload_configs(),
+            )
+        ]
+
+
+class RandomMeshPattern(_MeshBase):
+    """Same four destinations per node, unpredictable per-node order."""
+
+    name = "random-mesh"
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        gen = rng.get(f"{self.name}-order")
+        msgs: list[Message] = []
+        for _ in range(self.rounds):
+            per_node: list[list[int]] = []
+            for u in range(self.n_ports):
+                dirs = list(_DIRECTIONS)
+                order = gen.permutation(4)
+                per_node.append([self.neighbors[u][dirs[i]] for i in order])
+            # interleave: step j of every node, preserving per-node order
+            for j in range(4):
+                for u in range(self.n_ports):
+                    msgs.append(self._msg(u, per_node[u][j]))
+        # the destination *set* is known (spatial locality) but the order is
+        # not; the set is still what a predictor/preloader would cache
+        return [
+            TrafficPhase(
+                self.name,
+                msgs,
+                static_conns=self._static_conns(),
+                preload_configs=self._preload_configs(),
+            )
+        ]

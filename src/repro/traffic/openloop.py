@@ -1,0 +1,84 @@
+"""Open-loop (rate-driven) traffic.
+
+The paper's evaluation is trace-driven (command files), but the standard
+methodology of the interconnection-network literature it builds on
+(Duato/Yalamanchili/Ni, the paper's reference [1]) characterises a switch
+by its **load–latency curve**: every node injects messages as a Poisson
+process at a chosen fraction of link capacity, and mean delivery latency
+is plotted against offered load until saturation.
+
+:class:`OpenLoopUniformPattern` generates that workload: per node,
+exponential inter-arrival times with rate
+
+    lambda = load * link_rate / message_size
+
+and uniformly random (non-self) destinations.  ``duration_ns`` bounds the
+injection window; all messages injected inside it are delivered before
+the run ends (the network drains), so near saturation the drain phase
+naturally exposes the queueing blow-up.
+"""
+
+from __future__ import annotations
+
+from ..errors import TrafficError
+from ..sim.clock import PS_PER_NS
+from ..sim.rng import RngStreams
+from ..types import Message
+from .base import TrafficPattern, TrafficPhase
+
+__all__ = ["OpenLoopUniformPattern"]
+
+
+class OpenLoopUniformPattern(TrafficPattern):
+    """Poisson arrivals at a fixed fraction of link capacity."""
+
+    name = "open-loop-uniform"
+
+    def __init__(
+        self,
+        n_ports: int,
+        size_bytes: int,
+        load: float,
+        duration_ns: float,
+        byte_ps: int = 1250,
+    ) -> None:
+        super().__init__(n_ports, size_bytes)
+        if not 0.0 < load <= 1.0:
+            raise TrafficError(f"offered load must be in (0, 1], got {load}")
+        if duration_ns <= 0:
+            raise TrafficError("injection window must be positive")
+        self.load = load
+        self.duration_ns = duration_ns
+        self.byte_ps = byte_ps
+
+    @property
+    def mean_gap_ps(self) -> float:
+        """Mean inter-arrival time per node at the requested load."""
+        service_ps = self.size_bytes * self.byte_ps
+        return service_ps / self.load
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        gen = rng.get(f"{self.name}-l{self.load}")
+        horizon_ps = int(self.duration_ns * PS_PER_NS)
+        msgs: list[Message] = []
+        for src in range(self.n_ports):
+            t = 0.0
+            while True:
+                t += gen.exponential(self.mean_gap_ps)
+                if t >= horizon_ps:
+                    break
+                dst = int(gen.integers(0, self.n_ports - 1))
+                if dst >= src:
+                    dst += 1
+                msgs.append(
+                    self._msg_at(src, dst, int(t))
+                )
+        if not msgs:
+            raise TrafficError(
+                "injection window too short: no messages were generated"
+            )
+        msgs.sort(key=lambda m: m.inject_ps)
+        return [TrafficPhase(f"{self.name}-{self.load:.2f}", msgs)]
+
+    def _msg_at(self, src: int, dst: int, inject_ps: int) -> Message:
+        return Message(src=src, dst=dst, size=self.size_bytes, inject_ps=inject_ps)

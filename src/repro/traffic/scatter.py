@@ -1,0 +1,53 @@
+"""The Scatter test pattern.
+
+Paper, Section 5: *"The Scatter test sends a unique message from a single
+processor to all 128 processors."*  One source, ``N - 1`` messages (self
+delivery is a local copy and is not modelled), all queued at time zero.
+
+Scatter's entire connection set ``{(s, v) : v != s}`` is statically known,
+but it can never be multiplexed wider than one connection per slot (every
+connection shares the source's input port), which is why the paper finds
+preloaded and dynamic TDM nearly identical on this pattern.
+"""
+
+from __future__ import annotations
+
+from ..errors import TrafficError
+from ..fabric.config import ConfigMatrix
+from ..sim.rng import RngStreams
+from ..types import Connection
+from .base import TrafficPattern, TrafficPhase
+
+__all__ = ["ScatterPattern"]
+
+
+class ScatterPattern(TrafficPattern):
+    """One processor sends a unique message to every other processor."""
+
+    name = "scatter"
+
+    def __init__(self, n_ports: int, size_bytes: int, source: int = 0) -> None:
+        super().__init__(n_ports, size_bytes)
+        if not 0 <= source < n_ports:
+            raise TrafficError(f"scatter source {source} out of range")
+        self.source = source
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        msgs = [
+            self._msg(self.source, dst)
+            for dst in range(self.n_ports)
+            if dst != self.source
+        ]
+        static = {Connection(self.source, m.dst) for m in msgs}
+        # program-order preload schedule: one single-connection configuration
+        # per destination, in send order (all share the source's input port,
+        # so no configuration can hold more than one of them)
+        preload = [
+            ConfigMatrix.from_pairs(self.n_ports, [(self.source, m.dst)])
+            for m in msgs
+        ]
+        return [
+            TrafficPhase(
+                "scatter", msgs, static_conns=static, preload_configs=preload
+            )
+        ]

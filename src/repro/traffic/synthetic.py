@@ -1,0 +1,167 @@
+"""Additional synthetic patterns.
+
+These are not in the paper's Figure 4 sweep but exercise the same machinery
+for the ablation benches and the examples: uniform random (no locality at
+all), hotspot (one over-subscribed destination), a fixed random permutation
+(perfect spatial locality, working set of one), bit-complement, and tornado
+(ring shift by N/2 - 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import TrafficError
+from ..sim.rng import RngStreams
+from ..types import Connection, Message
+from .base import TrafficPattern, TrafficPhase
+
+__all__ = [
+    "UniformRandomPattern",
+    "HotspotPattern",
+    "PermutationPattern",
+    "BitComplementPattern",
+    "TornadoPattern",
+]
+
+
+class UniformRandomPattern(TrafficPattern):
+    """Every message picks a uniformly random non-self destination."""
+
+    name = "uniform"
+
+    def __init__(
+        self, n_ports: int, size_bytes: int, messages_per_node: int = 16
+    ) -> None:
+        super().__init__(n_ports, size_bytes)
+        if messages_per_node < 1:
+            raise TrafficError("need at least one message per node")
+        self.messages_per_node = messages_per_node
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        gen = rng.get(self.name)
+        n = self.n_ports
+        msgs: list[Message] = []
+        for _ in range(self.messages_per_node):
+            draws = gen.integers(0, n - 1, size=n)
+            for u in range(n):
+                dst = int(draws[u])
+                if dst >= u:
+                    dst += 1
+                msgs.append(self._msg(u, dst))
+        return [TrafficPhase(self.name, msgs)]
+
+
+class HotspotPattern(TrafficPattern):
+    """A fraction of all traffic converges on one hot destination."""
+
+    name = "hotspot"
+
+    def __init__(
+        self,
+        n_ports: int,
+        size_bytes: int,
+        hotspot: int = 0,
+        hot_fraction: float = 0.25,
+        messages_per_node: int = 16,
+    ) -> None:
+        super().__init__(n_ports, size_bytes)
+        if not 0 <= hotspot < n_ports:
+            raise TrafficError("hotspot node out of range")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise TrafficError("hot fraction must be in [0,1]")
+        self.hotspot = hotspot
+        self.hot_fraction = hot_fraction
+        self.messages_per_node = messages_per_node
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        gen = rng.get(self.name)
+        n = self.n_ports
+        msgs: list[Message] = []
+        for _ in range(self.messages_per_node):
+            coins = gen.random(n)
+            draws = gen.integers(0, n - 1, size=n)
+            for u in range(n):
+                if coins[u] < self.hot_fraction and u != self.hotspot:
+                    dst = self.hotspot
+                else:
+                    dst = int(draws[u])
+                    if dst >= u:
+                        dst += 1
+                msgs.append(self._msg(u, dst))
+        static = {Connection(u, self.hotspot) for u in range(n) if u != self.hotspot}
+        return [TrafficPhase(self.name, msgs, static_conns=static)]
+
+
+class PermutationPattern(TrafficPattern):
+    """Every node repeatedly sends to one fixed partner (a random permutation)."""
+
+    name = "permutation"
+
+    def __init__(
+        self, n_ports: int, size_bytes: int, messages_per_node: int = 16
+    ) -> None:
+        super().__init__(n_ports, size_bytes)
+        self.messages_per_node = messages_per_node
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        gen = rng.get(self.name)
+        n = self.n_ports
+        # draw a derangement-ish permutation: retry until no fixed points
+        identity = np.arange(n)
+        while True:
+            perm = gen.permutation(n)
+            if not (perm == identity).any():
+                break
+        msgs: list[Message] = []
+        for _ in range(self.messages_per_node):
+            for u in range(n):
+                msgs.append(self._msg(u, int(perm[u])))
+        static = {Connection(u, int(perm[u])) for u in range(n)}
+        return [TrafficPhase(self.name, msgs, static_conns=static)]
+
+
+class BitComplementPattern(TrafficPattern):
+    """dest(u) = ~u — the classic worst case for dimension-ordered meshes."""
+
+    name = "bit-complement"
+
+    def __init__(
+        self, n_ports: int, size_bytes: int, messages_per_node: int = 16
+    ) -> None:
+        super().__init__(n_ports, size_bytes)
+        if n_ports & (n_ports - 1):
+            raise TrafficError("bit-complement needs a power-of-two node count")
+        self.messages_per_node = messages_per_node
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        n = self.n_ports
+        mask = n - 1
+        msgs: list[Message] = []
+        for _ in range(self.messages_per_node):
+            for u in range(n):
+                msgs.append(self._msg(u, u ^ mask))
+        static = {Connection(u, u ^ mask) for u in range(n)}
+        return [TrafficPhase(self.name, msgs, static_conns=static)]
+
+
+class TornadoPattern(TrafficPattern):
+    """dest(u) = (u + N//2 - 1) mod N — adversarial for ring topologies."""
+
+    name = "tornado"
+
+    def __init__(
+        self, n_ports: int, size_bytes: int, messages_per_node: int = 16
+    ) -> None:
+        super().__init__(n_ports, size_bytes)
+        self.messages_per_node = messages_per_node
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        n = self.n_ports
+        shift = max(1, n // 2 - 1)
+        msgs: list[Message] = []
+        for _ in range(self.messages_per_node):
+            for u in range(n):
+                msgs.append(self._msg(u, (u + shift) % n))
+        static = {Connection(u, (u + shift) % n) for u in range(n)}
+        return [TrafficPhase(self.name, msgs, static_conns=static)]

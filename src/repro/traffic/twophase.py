@@ -1,0 +1,43 @@
+"""The Two Phase test pattern.
+
+Paper, Section 5: *"The Two Phase test represents those programs that
+contain global communication and local communication.  In this test, there
+is one 128-processor all-to-all communication followed by 16 random nearest
+neighbor communications."*
+
+Phase 1 is the all-to-all exchange; phase 2 is sixteen rounds of
+random-order nearest-neighbour traffic.  The phase boundary is exactly the
+point where the paper's compiler-assisted design would insert a flush
+directive (Section 3.3): the all-to-all working set is useless to the mesh
+phase and would only cause mispredictions.
+"""
+
+from __future__ import annotations
+
+from ..sim.rng import RngStreams
+from .alltoall import AllToAllPattern
+from .base import TrafficPattern, TrafficPhase
+from .mesh import RandomMeshPattern
+
+__all__ = ["TwoPhasePattern"]
+
+
+class TwoPhasePattern(TrafficPattern):
+    """One all-to-all phase followed by ``nn_rounds`` random-NN rounds."""
+
+    name = "two-phase"
+
+    def __init__(self, n_ports: int, size_bytes: int, nn_rounds: int = 16) -> None:
+        super().__init__(n_ports, size_bytes)
+        if nn_rounds < 1:
+            raise ValueError("need at least one nearest-neighbour round")
+        self.nn_rounds = nn_rounds
+        self._global = AllToAllPattern(n_ports, size_bytes)
+        self._local = RandomMeshPattern(n_ports, size_bytes, rounds=nn_rounds)
+
+    def build_phases(self, rng: RngStreams) -> list[TrafficPhase]:
+        global_phase = self._global.build_phases(rng)[0]
+        global_phase.name = "two-phase/all-to-all"
+        local_phase = self._local.build_phases(rng)[0]
+        local_phase.name = "two-phase/random-mesh"
+        return [global_phase, local_phase]

@@ -1,0 +1,151 @@
+"""Core value types shared across the repro library.
+
+The fundamental objects of the paper's system model are:
+
+* a **port** — an integer in ``[0, N)`` identifying one NIC (the paper's
+  processors are numbered the same way on the input and output side of the
+  crossbar);
+* a **connection** — an ordered pair ``(src, dst)`` of ports, corresponding
+  to a ``1`` entry in a configuration matrix ``B``;
+* a **message** — a block of bytes queued at a source NIC for one
+  destination, transferred over an established connection in DMA fashion.
+
+Time is always an ``int`` number of **picoseconds** (see
+:mod:`repro.sim.clock`); sizes are ``int`` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, NamedTuple
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "Connection",
+    "Message",
+    "MessageRecord",
+    "validate_port",
+    "validate_connection",
+]
+
+
+class Connection(NamedTuple):
+    """An ordered (source port, destination port) pair.
+
+    A ``Connection`` identifies one potential circuit through the crossbar:
+    ``B[src, dst] == 1`` in some configuration matrix means this connection
+    is established during the corresponding TDM slot.
+    """
+
+    src: int
+    dst: int
+
+    def reversed(self) -> "Connection":
+        """The connection carrying traffic in the opposite direction."""
+        return Connection(self.dst, self.src)
+
+
+def validate_port(port: int, n_ports: int, *, name: str = "port") -> int:
+    """Check that ``port`` is a valid port index for an ``n_ports`` system.
+
+    Returns the port unchanged so it can be used inline, raises
+    :class:`~repro.errors.ConfigurationError` otherwise.
+    """
+    if not isinstance(port, (int,)) or isinstance(port, bool):
+        raise ConfigurationError(f"{name} must be an int, got {port!r}")
+    if not 0 <= port < n_ports:
+        raise ConfigurationError(
+            f"{name} {port} out of range for a {n_ports}-port system"
+        )
+    return port
+
+
+def validate_connection(conn: Connection, n_ports: int) -> Connection:
+    """Validate both endpoints of ``conn`` against ``n_ports``."""
+    validate_port(conn.src, n_ports, name="src")
+    validate_port(conn.dst, n_ports, name="dst")
+    return conn
+
+
+@dataclass(slots=True)
+class Message:
+    """One inter-processor message.
+
+    ``Message`` objects are created by traffic patterns and mutated by the
+    network models as data moves: ``remaining`` counts bytes that have not
+    yet left the source NIC.
+
+    Attributes
+    ----------
+    src, dst:
+        Source and destination ports.
+    size:
+        Message length in bytes (must be positive).
+    inject_ps:
+        Time at which the message becomes available in the source NIC's
+        logical queue.
+    seq:
+        A per-run unique sequence number, used for deterministic tie
+        breaking and for reporting.
+    """
+
+    src: int
+    dst: int
+    size: int
+    inject_ps: int = 0
+    seq: int = 0
+    remaining: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ConfigurationError(f"message size must be positive, got {self.size}")
+        if self.src == self.dst:
+            raise ConfigurationError("messages to self are not modelled")
+        if self.inject_ps < 0:
+            raise ConfigurationError("inject time must be non-negative")
+        self.remaining = self.size
+
+    @property
+    def connection(self) -> Connection:
+        """The connection this message travels on."""
+        return Connection(self.src, self.dst)
+
+
+@dataclass(slots=True, frozen=True)
+class MessageRecord:
+    """Immutable completion record for one delivered message.
+
+    Produced by network models when a message's last byte arrives at the
+    destination NIC.
+    """
+
+    src: int
+    dst: int
+    size: int
+    inject_ps: int
+    start_ps: int
+    done_ps: int
+    seq: int
+
+    @property
+    def latency_ps(self) -> int:
+        """Time from injection to full delivery."""
+        return self.done_ps - self.inject_ps
+
+    @property
+    def service_ps(self) -> int:
+        """Time from first byte leaving the source to full delivery."""
+        return self.done_ps - self.start_ps
+
+    def __post_init__(self) -> None:
+        if self.done_ps < self.start_ps or self.start_ps < self.inject_ps:
+            raise ConfigurationError(
+                "message record times must satisfy inject <= start <= done"
+            )
+
+
+def iter_connections(messages: list[Message]) -> Iterator[Connection]:
+    """Yield the connection of each message, in order (with duplicates)."""
+    for m in messages:
+        yield m.connection

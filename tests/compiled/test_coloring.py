@@ -1,0 +1,135 @@
+"""Unit and property tests for the bipartite edge colouring compiler."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiled.coloring import (
+    connection_degree,
+    decompose,
+    edge_color,
+    verify_coloring,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDegree:
+    def test_empty(self):
+        assert connection_degree([], 4) == 0
+
+    def test_permutation_degree_one(self):
+        conns = [(u, (u + 1) % 4) for u in range(4)]
+        assert connection_degree(conns, 4) == 1
+
+    def test_fanout(self):
+        conns = [(0, v) for v in range(1, 4)]
+        assert connection_degree(conns, 4) == 3
+
+    def test_fanin(self):
+        conns = [(u, 0) for u in range(1, 4)]
+        assert connection_degree(conns, 4) == 3
+
+    def test_all_to_all(self):
+        n = 6
+        conns = [(u, v) for u in range(n) for v in range(n) if u != v]
+        assert connection_degree(conns, n) == n - 1
+
+
+class TestEdgeColor:
+    def test_empty(self):
+        assert edge_color([], 4) == {}
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            edge_color([(0, 1), (0, 1)], 4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            edge_color([(0, 4)], 4)
+
+    def test_single_edge(self):
+        col = edge_color([(0, 1)], 4)
+        assert col == {(0, 1): 0}
+
+    def test_star_uses_delta_colors(self):
+        conns = [(0, v) for v in range(1, 5)]
+        col = edge_color(conns, 5)
+        assert verify_coloring(col, conns)
+        assert len(set(col.values())) == 4
+
+    def test_all_to_all_optimal(self):
+        n = 6
+        conns = [(u, v) for u in range(n) for v in range(n) if u != v]
+        col = edge_color(conns, n)
+        assert verify_coloring(col, conns)
+        assert max(col.values()) + 1 == n - 1  # exactly Δ colours (König)
+
+    def test_kempe_chain_needed_case(self):
+        """A case where the first free colours at u and v differ."""
+        conns = [(0, 1), (2, 1), (2, 3), (0, 3), (0, 2), (1, 3)]
+        col = edge_color(conns, 4)
+        assert verify_coloring(col, conns)
+        assert max(col.values()) + 1 == connection_degree(conns, 4)
+
+
+class TestDecompose:
+    def test_configs_are_valid_and_cover(self):
+        conns = [(0, 1), (1, 2), (2, 0), (0, 2)]
+        configs = decompose(conns, 3)
+        assert len(configs) == connection_degree(conns, 3)
+        union = set()
+        for cfg in configs:
+            cfg.check_invariants()
+            union |= {tuple(c) for c in cfg.connections()}
+        assert union == set(conns)
+
+    def test_empty(self):
+        assert decompose([], 4) == []
+
+
+class TestVerifyColoring:
+    def test_detects_conflict(self):
+        assert not verify_coloring({(0, 1): 0, (0, 2): 0}, [(0, 1), (0, 2)])
+
+    def test_detects_missing_edge(self):
+        assert not verify_coloring({(0, 1): 0}, [(0, 1), (2, 3)])
+
+
+@st.composite
+def connection_sets(draw, n=10):
+    pairs = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=n * n // 2,
+        )
+    )
+    return [p for p in pairs]
+
+
+@settings(max_examples=150, deadline=None)
+@given(connection_sets())
+def test_property_coloring_proper_and_optimal(conns):
+    """Any connection set colours properly with exactly Δ colours."""
+    n = 10
+    col = edge_color(conns, n)
+    assert verify_coloring(col, conns)
+    delta = connection_degree(conns, n)
+    if conns:
+        assert max(col.values()) + 1 <= delta  # König: never more than Δ
+
+
+@settings(max_examples=50, deadline=None)
+@given(connection_sets())
+def test_property_matches_networkx_bound(conns):
+    """Cross-check Δ against networkx's max degree on the bipartite graph."""
+    if not conns:
+        return
+    g = nx.Graph()
+    g.add_edges_from(((("in", u), ("out", v)) for u, v in conns))
+    nx_delta = max(d for _, d in g.degree())
+    assert connection_degree(conns, 10) == nx_delta
+    configs = decompose(conns, 10)
+    assert len(configs) == nx_delta

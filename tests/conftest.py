@@ -1,0 +1,25 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import PAPER_PARAMS, SystemParams
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def params16() -> SystemParams:
+    """A 16-port system with the paper's timing constants."""
+    return PAPER_PARAMS.with_overrides(n_ports=16)
+
+
+@pytest.fixture
+def params8() -> SystemParams:
+    """An 8-port system for fast scheduler/network unit tests."""
+    return PAPER_PARAMS.with_overrides(n_ports=8)
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    return RngStreams(1234)

@@ -1,0 +1,135 @@
+"""Unit and property tests for the fat-tree fabric constraints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fabric.config import ConfigMatrix
+from repro.fabric.fattree import FatTree
+
+
+class TestStructure:
+    def test_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            FatTree(6)
+        with pytest.raises(ConfigurationError):
+            FatTree(8, taper=0)
+
+    def test_subtree_of(self):
+        ft = FatTree(8)
+        assert ft.subtree_of(5, 1) == 2
+        assert ft.subtree_of(5, 2) == 1
+        assert ft.subtree_of(5, 3) == 0
+
+    def test_subtree_range_checks(self):
+        ft = FatTree(8)
+        with pytest.raises(ConfigurationError):
+            ft.subtree_of(8, 1)
+        with pytest.raises(ConfigurationError):
+            ft.subtree_of(0, 0)
+
+    def test_edge_capacity_full_bisection(self):
+        ft = FatTree(16, taper=1)
+        assert ft.edge_capacity(1) == 2
+        assert ft.edge_capacity(3) == 8
+
+    def test_edge_capacity_tapered(self):
+        ft = FatTree(16, taper=4)
+        assert ft.edge_capacity(1) == 1  # floored at 1
+        assert ft.edge_capacity(3) == 2
+
+    def test_no_edge_above_root(self):
+        ft = FatTree(8)
+        with pytest.raises(ConfigurationError):
+            ft.edge_capacity(3)
+
+    def test_crossing_level(self):
+        ft = FatTree(8)
+        assert ft.crossing_level(0, 1) == 1  # siblings
+        assert ft.crossing_level(0, 7) == 3  # opposite halves
+        assert ft.crossing_level(3, 3) == 0  # loopback crosses nothing
+
+
+class TestRealizability:
+    def test_sibling_traffic_never_blocked(self):
+        ft = FatTree(8, taper=8)
+        cfg = ConfigMatrix.from_pairs(8, [(0, 1), (2, 3), (4, 5), (6, 7)])
+        assert ft.is_realizable(cfg)  # stays below level 1 edges entirely
+
+    def test_full_bisection_realizes_any_permutation(self):
+        ft = FatTree(16, taper=1)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            perm = [int(x) for x in rng.permutation(16)]
+            cfg = ConfigMatrix.from_permutation(perm)
+            assert ft.is_realizable(cfg)
+
+    def test_tapered_blocks_cross_traffic(self):
+        ft = FatTree(8, taper=4)
+        # bit reversal pushes everything through the upper levels
+        cfg = ConfigMatrix.from_permutation([7, 6, 5, 4, 3, 2, 1, 0])
+        assert not ft.is_realizable(cfg)
+        assert ft.overloaded_edges(cfg)
+
+    def test_directions_independent(self):
+        """Up and down directions of one edge do not contend."""
+        ft = FatTree(8, taper=8)  # every upward edge has capacity 1
+        # (0 -> 4) uses 'up' on 0's side; (5 -> 1) uses 'down' on 1's side:
+        # the level-1/2 edges above {0,1} carry one connection per direction
+        cfg = ConfigMatrix.from_pairs(8, [(0, 4), (5, 1)])
+        assert ft.is_realizable(cfg)
+
+    def test_same_direction_contends(self):
+        ft = FatTree(8, taper=8)
+        # both connections go up from the {0,1} subtree
+        cfg = ConfigMatrix.from_pairs(8, [(0, 4), (1, 5)])
+        assert not ft.is_realizable(cfg)
+
+
+class TestDegreesAndPartition:
+    def test_required_degree_empty(self):
+        assert FatTree(8).required_degree([]) == 0
+
+    def test_required_degree_bit_reversal(self):
+        ft = FatTree(8, taper=4)
+        cfg = ConfigMatrix.from_permutation([7, 6, 5, 4, 3, 2, 1, 0])
+        assert ft.required_degree(cfg.connections()) == 4
+
+    def test_partition_covers_and_is_realizable(self):
+        ft = FatTree(8, taper=4)
+        cfg = ConfigMatrix.from_permutation([7, 6, 5, 4, 3, 2, 1, 0])
+        passes = ft.partition(cfg)
+        union = set()
+        for p in passes:
+            assert ft.is_realizable(p)
+            union |= {tuple(c) for c in p.connections()}
+        assert union == {tuple(c) for c in cfg.connections()}
+
+    def test_partition_meets_lower_bound(self):
+        ft = FatTree(8, taper=4)
+        cfg = ConfigMatrix.from_permutation([7, 6, 5, 4, 3, 2, 1, 0])
+        assert len(ft.partition(cfg)) >= ft.required_degree(cfg.connections())
+
+    def test_partition_of_realizable_is_single_pass(self):
+        ft = FatTree(8, taper=1)
+        cfg = ConfigMatrix.from_permutation([1, 0, 3, 2, 5, 4, 7, 6])
+        assert len(ft.partition(cfg)) == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.permutations(list(range(16))), st.integers(1, 8))
+def test_property_partition_sound(perm, taper):
+    """Any permutation partitions into realisable passes covering it."""
+    ft = FatTree(16, taper=taper)
+    cfg = ConfigMatrix.from_permutation(list(perm))
+    passes = ft.partition(cfg)
+    union = set()
+    for p in passes:
+        assert ft.is_realizable(p)
+        union |= {tuple(c) for c in p.connections()}
+    assert union == {tuple(c) for c in cfg.connections()}
+    assert len(passes) >= ft.required_degree(cfg.connections())

@@ -1,0 +1,143 @@
+"""Equivalence proofs for the gate-level SL array.
+
+The netlist must match the behavioural Table-2 model bit-for-bit on
+arbitrary pre-scheduler outputs.  The suite also pins the scenario that
+falsified the module's first draft: a cell cannot distinguish release
+from a doomed establish by ``L·A·D`` alone — it must read its adjacent
+configuration bit, because an earlier establish in the same wavefront can
+raise a later candidate's ``A`` and ``D``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fabric.config import ConfigMatrix
+from repro.hw.rtl import SLArrayNetlist, SLCellGates, sl_cell_logic
+from repro.hw.synth import SchedulerAreaModel
+from repro.sched.presched import compute_l
+from repro.sched.slarray import wavefront_reference
+
+
+class TestCellTruthTable:
+    """The SL module's 16-row truth table (Table 2 plus the B input)."""
+
+    @pytest.mark.parametrize(
+        "l,b,a,d,expected",
+        [
+            # L=0: transparent, T=0, regardless of everything else
+            (False, False, False, False, (False, False, False)),
+            (False, False, True, True, (False, True, True)),
+            (False, True, True, True, (False, True, True)),
+            # L=1, B=1: release — outputs freed
+            (True, True, True, True, (True, False, False)),
+            # L=1, B=0, both ports free: establish — outputs busy
+            (True, False, False, False, (True, True, True)),
+            # L=1, B=0, a port busy: blocked, transparent
+            (True, False, True, False, (False, True, False)),
+            (True, False, False, True, (False, False, True)),
+            # L=1, B=0, both busy (the wavefront-raised case): blocked,
+            # NOT a release — this row is why the cell reads B
+            (True, False, True, True, (False, True, True)),
+        ],
+    )
+    def test_cell(self, l, b, a, d, expected):
+        assert sl_cell_logic(l, b, a, d) == expected
+
+    def test_gate_inventory(self):
+        gates = SLCellGates()
+        assert gates.total_gates == 11
+        assert gates.lut4_estimate() == 3
+
+    def test_gate_count_consistent_with_area_model(self):
+        assert SchedulerAreaModel().le_per_sl_cell >= SLCellGates().lut4_estimate()
+
+
+class TestNetlistBasics:
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            SLArrayNetlist(0)
+
+    def test_shape_checked(self):
+        net = SLArrayNetlist(4)
+        with pytest.raises(ConfigurationError):
+            net.evaluate(
+                np.zeros((3, 3), bool),
+                np.zeros((4, 4), bool),
+                np.zeros(4, bool),
+                np.zeros(4, bool),
+            )
+
+    def test_gate_count_scales_quadratically(self):
+        assert SLArrayNetlist(8).gate_count() == 4 * SLArrayNetlist(4).gate_count()
+
+
+class TestWavefrontHazard:
+    """The scenario that falsified the B-free cell design."""
+
+    def test_earlier_establish_raises_later_candidates_signals(self):
+        """(5,3) is established in the slot; L requests (4,2) and (4,3).
+        The wavefront establishes (4,2), which raises row 4's D signal;
+        cell (4,3) then sees A = 1 (from (5,3)) and D = 1 (from (4,2))
+        with B = 0 — a B-blind release rule would toggle a phantom
+        connection here.  The correct cell blocks it."""
+        n = 8
+        cfg = ConfigMatrix.from_pairs(n, [(5, 3)])
+        l = np.zeros((n, n), dtype=bool)
+        l[4, 2] = l[4, 3] = True
+        t = SLArrayNetlist(n).evaluate(
+            l, cfg.b, cfg.output_busy(), cfg.input_busy()
+        )
+        assert t[4, 2]  # the establish goes through
+        assert not t[4, 3]  # the doomed candidate is blocked, not "released"
+
+    def test_fabricated_l_is_harmless(self):
+        """An L bit that Table 1 would never emit (establish onto busy
+        ports) cannot corrupt the configuration: with B = 0 the cell
+        refuses to release, and busy ports block the establish."""
+        n = 4
+        cfg = ConfigMatrix.from_pairs(n, [(0, 1), (2, 3)])
+        l = np.zeros((n, n), dtype=bool)
+        l[2, 1] = True
+        t = SLArrayNetlist(n).evaluate(l, cfg.b, cfg.output_busy(), cfg.input_busy())
+        assert not t.any()
+
+
+@st.composite
+def presched_inputs(draw, n=8):
+    """A valid (slot config, R, B*, rotation) tuple via the real Table 1."""
+    perm = draw(st.permutations(list(range(n))))
+    keep = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    cfg = ConfigMatrix(n)
+    for u, (v, k) in enumerate(zip(perm, keep)):
+        if k:
+            cfg.establish(u, v)
+    r = np.array(
+        draw(st.lists(st.lists(st.booleans(), min_size=n, max_size=n),
+                      min_size=n, max_size=n)),
+        dtype=bool,
+    )
+    extra = np.array(
+        draw(st.lists(st.lists(st.booleans(), min_size=n, max_size=n),
+                      min_size=n, max_size=n)),
+        dtype=bool,
+    )
+    b_star = cfg.b | extra
+    rotation = (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+    return cfg, r, b_star, rotation
+
+
+@settings(max_examples=200, deadline=None)
+@given(presched_inputs())
+def test_netlist_equals_behavioral_model(case):
+    """Under Table-1 inputs the gate netlist matches the SL-array oracle."""
+    cfg, r, b_star, rotation = case
+    pres = compute_l(r, cfg.b, b_star)
+    ao, ai = cfg.output_busy(), cfg.input_busy()
+    behavioral = wavefront_reference(pres.l, cfg.b, ao, ai, rotation)
+    netlist_t = SLArrayNetlist(cfg.n).evaluate(pres.l, cfg.b, ao, ai, rotation)
+    assert np.array_equal(behavioral.toggle_matrix(cfg.n), netlist_t)

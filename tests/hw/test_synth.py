@@ -1,0 +1,132 @@
+"""Unit tests for the Table-3 hardware latency and area models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.gates import GateLibrary, or_tree_depth, sl_critical_cells
+from repro.hw.synth import (
+    ASIC_SPEEDUP,
+    PAPER_SIZES,
+    PAPER_TABLE3_NS,
+    SchedulerAreaModel,
+    asic_library,
+    calibrate_library,
+    scheduler_latency_table,
+    stratix_library,
+)
+
+
+class TestGates:
+    def test_or_tree_depth(self):
+        assert or_tree_depth(1) == 0
+        assert or_tree_depth(2) == 1
+        assert or_tree_depth(128) == 7
+        assert or_tree_depth(100) == 7  # ceil
+
+    def test_or_tree_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            or_tree_depth(0)
+
+    def test_critical_cells(self):
+        assert sl_critical_cells(1) == 1
+        assert sl_critical_cells(128) == 255
+
+    def test_library_latency_formula(self):
+        lib = GateLibrary("test", fixed_ps=1000, or_level_ps=100, sl_cell_ps=10)
+        # 1000 + 2*100 + 7*10
+        assert lib.scheduler_latency_ps(4) == 1000 + 2 * 100 + 7 * 10
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GateLibrary("bad", -1, 0, 0)
+
+    def test_scaled(self):
+        lib = GateLibrary("t", 1000, 100, 10)
+        fast = lib.scaled(5)
+        assert fast.fixed_ps == 200
+        assert fast.scheduler_latency_ps(8) * 5 == pytest.approx(
+            lib.scheduler_latency_ps(8)
+        )
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            GateLibrary("t", 1, 1, 1).scaled(0)
+
+
+class TestCalibration:
+    def test_reproduces_table3_within_3ns(self):
+        lib = stratix_library()
+        for n, paper_ns in PAPER_TABLE3_NS.items():
+            model_ns = lib.scheduler_latency_ps(n) / 1000.0
+            assert abs(model_ns - paper_ns) < 3.0, f"N={n}"
+
+    def test_latency_monotone_in_n(self):
+        lib = stratix_library()
+        lats = [lib.scheduler_latency_ps(n) for n in (4, 8, 16, 32, 64, 128, 256)]
+        assert lats == sorted(lats)
+
+    def test_asic_is_5x(self):
+        fpga = stratix_library()
+        asic = asic_library()
+        ratio = fpga.scheduler_latency_ps(128) / asic.scheduler_latency_ps(128)
+        assert ratio == pytest.approx(ASIC_SPEEDUP)
+
+    def test_asic_128_near_paper_80ns(self):
+        """The paper picked 80 ns for the 128x128 ASIC scheduler."""
+        asic_ns = asic_library().scheduler_latency_ps(128) / 1000.0
+        assert 70.0 <= asic_ns <= 85.0
+
+    def test_calibrate_needs_three_points(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_library({4: 34, 8: 49})
+
+    def test_calibrated_coefficients_nonnegative(self):
+        lib = stratix_library()
+        assert lib.fixed_ps >= 0 and lib.or_level_ps >= 0 and lib.sl_cell_ps >= 0
+
+    def test_extrapolation_stays_linear(self):
+        """Doubling N roughly doubles the wavefront term."""
+        lib = stratix_library()
+        t256 = lib.scheduler_latency_ps(256)
+        t128 = lib.scheduler_latency_ps(128)
+        wavefront = lib.sl_cell_ps * sl_critical_cells(128)
+        assert t256 - t128 == pytest.approx(wavefront + lib.sl_cell_ps + lib.or_level_ps, rel=0.05)
+
+
+class TestTableGeneration:
+    def test_rows_cover_paper_sizes(self):
+        rows = scheduler_latency_table()
+        assert [r["n"] for r in rows] == list(PAPER_SIZES)
+        for r in rows:
+            assert abs(r["error_ns"]) < 3.0
+
+    def test_asic_column_scaled(self):
+        rows = scheduler_latency_table()
+        for r in rows:
+            assert r["asic_ns"] == pytest.approx(r["fpga_ns"] / 5.0)
+
+
+class TestAreaModel:
+    def test_scaling_quadratic_in_n(self):
+        model = SchedulerAreaModel()
+        small = model.logic_elements(16, 4)
+        large = model.logic_elements(32, 4)
+        assert 3.5 < large / small < 4.5
+
+    def test_scaling_linear_in_k(self):
+        model = SchedulerAreaModel()
+        k4 = model.logic_elements(32, 4)
+        k8 = model.logic_elements(32, 8)
+        assert k8 > k4
+        # only the configuration bits scale with K
+        assert k8 - k4 == 4 * 32 * 32 * model.le_per_config_bit
+
+    def test_utilization(self):
+        model = SchedulerAreaModel()
+        assert model.utilization(16, 4) < 1.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerAreaModel().logic_elements(0, 4)

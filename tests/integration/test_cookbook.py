@@ -1,0 +1,147 @@
+"""The docs/extending.md recipes, executed.
+
+Each class here is copied from the cookbook; if the public API drifts,
+these tests break before the documentation lies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PAPER_PARAMS, TdmNetwork, measure
+from repro.predict import Predictor
+from repro.traffic import TrafficPattern, TrafficPhase
+from repro.types import Connection
+
+PARAMS = PAPER_PARAMS.with_overrides(n_ports=16)
+
+
+class RingPattern(TrafficPattern):
+    """Every node streams to its ring successor for `rounds` rounds."""
+
+    name = "ring"
+
+    def __init__(self, n_ports, size_bytes, rounds=4):
+        super().__init__(n_ports, size_bytes)
+        self.rounds = rounds
+
+    def build_phases(self, rng):
+        n = self.n_ports
+        msgs = [
+            self._msg(u, (u + 1) % n)
+            for _ in range(self.rounds)
+            for u in range(n)
+        ]
+        static = {Connection(u, (u + 1) % n) for u in range(n)}
+        return [TrafficPhase("ring", msgs, static_conns=static)]
+
+
+class SecondChancePredictor(Predictor):
+    """Hold every drained connection once; evict on the second drain."""
+
+    def __init__(self):
+        self._chances = {}
+
+    def on_use(self, u, v, t_ps):
+        self._chances.pop((u, v), None)
+
+    def on_empty(self, u, v, t_ps):
+        first = (u, v) not in self._chances
+        self._chances[(u, v)] = not first
+        return first
+
+    def expired(self, t_ps):
+        out = [
+            Connection(u, v) for (u, v), used in self._chances.items() if used
+        ]
+        for c in out:
+            del self._chances[(c.src, c.dst)]
+        return out
+
+
+class EvenOddFabric:
+    """A contrived fabric that cannot cross the even/odd partition."""
+
+    def is_realizable(self, config):
+        return all((u % 2) == (v % 2) for u, v in config.connections())
+
+
+class TestCustomPattern:
+    def test_runs_and_measures(self):
+        point = measure(RingPattern(16, 256), TdmNetwork(PARAMS, k=2), seed=7)
+        assert 0 < point.efficiency <= 1
+        assert point.total_bytes == 16 * 4 * 256
+
+    def test_preloadable(self):
+        point = measure(
+            RingPattern(16, 256),
+            TdmNetwork(PARAMS, k=2, mode="preload"),
+            seed=7,
+        )
+        assert point.counters.get("establishes", 0) == 0
+
+    def test_ring_is_single_configuration(self):
+        from repro.compiled import StaticPattern
+
+        phase = RingPattern(16, 64).phases(__import__("repro.sim.rng", fromlist=["RngStreams"]).RngStreams(0))[0]
+        assert StaticPattern(16, phase.static_conns).degree == 1
+
+
+class TestCustomPredictor:
+    def test_predictor_drives_latches(self):
+        from repro.sim.rng import RngStreams
+        from repro.types import Message
+        from repro.traffic.base import assign_seq
+
+        # two bursts to the same destination with a gap; the second-chance
+        # policy holds across the first drain, so only one establishment
+        msgs = [
+            Message(src=0, dst=1, size=64, inject_ps=0),
+            Message(src=0, dst=1, size=64, inject_ps=2_000_000),
+        ]
+        phase = TrafficPhase("bursts", msgs)
+        assign_seq([phase])
+        net = TdmNetwork(
+            PARAMS, k=2, mode="dynamic", predictor=SecondChancePredictor()
+        )
+        result = net.run([phase])
+        assert len(result.records) == 2
+        assert result.counters["establishes"] == 1
+
+
+class TestCustomFabric:
+    def test_partition_respected(self):
+        from repro.sim.rng import RngStreams
+        from repro.traffic.base import assign_seq
+        from repro.types import Message
+
+        msgs = [
+            Message(src=0, dst=2, size=64),  # even -> even: allowed
+            Message(src=1, dst=3, size=64),  # odd -> odd: allowed
+        ]
+        phase = TrafficPhase("parity", msgs)
+        assign_seq([phase])
+        net = TdmNetwork(
+            PARAMS, k=2, mode="dynamic", fabric_constraint=EvenOddFabric()
+        )
+        result = net.run([phase])
+        assert len(result.records) == 2
+        assert result.counters.get("blocked_by_fabric", 0) == 0
+
+    def test_cross_partition_traffic_stalls_loudly(self, monkeypatch):
+        """Traffic the fabric can never carry trips the event cap rather
+        than hanging silently."""
+        import repro.networks.tdm as tdm_module
+        from repro.errors import SimulationError
+        from repro.traffic.base import assign_seq
+        from repro.types import Message
+
+        monkeypatch.setattr(tdm_module, "MAX_EVENTS_PER_PHASE", 5_000)
+        phase = TrafficPhase("impossible", [Message(src=0, dst=1, size=64)])
+        assign_seq([phase])
+        small = PAPER_PARAMS.with_overrides(n_ports=4)
+        net = TdmNetwork(
+            small, k=1, mode="dynamic", fabric_constraint=EvenOddFabric()
+        )
+        with pytest.raises(SimulationError):
+            net.run([phase])

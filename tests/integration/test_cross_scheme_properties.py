@@ -1,0 +1,109 @@
+"""Property tests that hold across every switching scheme.
+
+Hypothesis generates small random workloads; each must satisfy, on every
+network model:
+
+* **byte conservation** — every offered byte is sent and delivered
+  exactly once (enforced internally by the FlowLedger; a run that
+  violates it raises);
+* **completeness** — one delivery record per message;
+* **bounds** — makespan at least the bottleneck lower bound (efficiency
+  in (0, 1]);
+* **causality** — per record, inject <= start <= done;
+* **determinism** — the same workload and configuration produce the same
+  makespan when re-run.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.efficiency import run_lower_bound_ps
+from repro.networks.circuit import CircuitNetwork
+from repro.networks.tdm import TdmNetwork
+from repro.networks.wormhole import WormholeNetwork
+from repro.params import PAPER_PARAMS
+from repro.traffic.base import TrafficPhase, assign_seq
+from repro.types import Message
+
+N = 8
+PARAMS = PAPER_PARAMS.with_overrides(n_ports=N)
+
+
+@st.composite
+def workloads(draw):
+    """A small random phase: up to 24 messages, sizes 1..600 bytes."""
+    n_msgs = draw(st.integers(1, 24))
+    msgs = []
+    for _ in range(n_msgs):
+        src = draw(st.integers(0, N - 1))
+        dst = draw(st.integers(0, N - 1))
+        if dst == src:
+            dst = (dst + 1) % N
+        size = draw(st.integers(1, 600))
+        msgs.append(Message(src=src, dst=dst, size=size))
+    phase = TrafficPhase("prop", msgs)
+    assign_seq([phase])
+    return phase
+
+
+def _network_factories():
+    return {
+        "wormhole": lambda: WormholeNetwork(PARAMS),
+        "circuit": lambda: CircuitNetwork(PARAMS),
+        "tdm-dynamic": lambda: TdmNetwork(PARAMS, k=3, mode="dynamic"),
+        "tdm-windowed": lambda: TdmNetwork(
+            PARAMS, k=3, mode="dynamic", injection_window=2
+        ),
+    }
+
+
+def _clone(phase: TrafficPhase) -> TrafficPhase:
+    msgs = [
+        Message(src=m.src, dst=m.dst, size=m.size, inject_ps=0, seq=m.seq)
+        for m in phase.messages
+    ]
+    return TrafficPhase(phase.name, msgs)
+
+
+@pytest.mark.parametrize("scheme", sorted(_network_factories()))
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(phase=workloads())
+def test_conservation_completeness_bounds(scheme, phase):
+    factory = _network_factories()[scheme]
+    run_phase = _clone(phase)
+    bound = run_lower_bound_ps([run_phase], PARAMS)
+    net = factory()
+    result = net.run([run_phase])
+    # completeness
+    assert len(result.records) == len(phase.messages)
+    # conservation (the ledger also asserts internally)
+    assert net.ledger.total_delivered == sum(m.size for m in phase.messages)
+    # bounds
+    assert result.makespan_ps >= bound
+    # causality
+    for rec in result.records:
+        assert rec.inject_ps <= rec.start_ps <= rec.done_ps
+
+
+@pytest.mark.parametrize("scheme", sorted(_network_factories()))
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(phase=workloads())
+def test_reruns_are_deterministic(scheme, phase):
+    factory = _network_factories()[scheme]
+    first = factory().run([_clone(phase)])
+    second = factory().run([_clone(phase)])
+    assert first.makespan_ps == second.makespan_ps
+    assert [(r.seq, r.done_ps) for r in first.records] == [
+        (r.seq, r.done_ps) for r in second.records
+    ]

@@ -1,0 +1,29 @@
+"""Smoke tests: every example script runs to completion."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script: Path):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    assert len(EXAMPLES) >= 3

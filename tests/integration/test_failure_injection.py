@@ -1,0 +1,114 @@
+"""Failure injection: the invariant checkers catch corrupted state.
+
+These tests deliberately break internal state (as a bug would) and assert
+that the library's self-checks — which the simulations run at phase
+boundaries — refuse to continue silently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvariantError, SimulationError
+from repro.fabric.config import ConfigMatrix
+from repro.fabric.registers import ConfigRegisterFile
+from repro.networks.tdm import TdmNetwork
+from repro.nic.queues import VirtualOutputQueues
+from repro.params import PAPER_PARAMS
+from repro.sched.slarray import wavefront_reference
+from repro.traffic.base import TrafficPhase, assign_seq
+from repro.types import Message
+
+
+class TestConfigCorruption:
+    def test_dense_matrix_desync_detected(self):
+        cfg = ConfigMatrix.from_pairs(4, [(0, 1)])
+        cfg.b[2, 3] = True  # bypassing establish()
+        with pytest.raises(InvariantError):
+            cfg.check_invariants()
+
+    def test_occupancy_vector_desync_detected(self):
+        cfg = ConfigMatrix.from_pairs(4, [(0, 1)])
+        cfg.row_to_col[0] = 2  # vector contradicts the matrix
+        with pytest.raises(InvariantError):
+            cfg.check_invariants()
+
+    def test_double_booking_detected(self):
+        cfg = ConfigMatrix(4)
+        cfg.b[0, 1] = cfg.b[0, 2] = True  # crossbar violation
+        with pytest.raises(InvariantError):
+            cfg.check_invariants()
+
+    def test_size_counter_desync_detected(self):
+        cfg = ConfigMatrix.from_pairs(4, [(0, 1)])
+        cfg._size = 5
+        with pytest.raises(InvariantError):
+            cfg.check_invariants()
+
+
+class TestRegisterFileCorruption:
+    def test_bstar_count_desync_detected(self):
+        regs = ConfigRegisterFile(4, 2)
+        regs.establish(0, 1, 2)
+        regs._counts[1, 2] = 0  # B* contradicts the slots
+        with pytest.raises(InvariantError):
+            regs.check_invariants()
+
+    def test_slot_bypass_detected(self):
+        regs = ConfigRegisterFile(4, 2)
+        regs.slots[0].establish(0, 1)  # bypassing the register file API
+        with pytest.raises(InvariantError):
+            regs.check_invariants()
+
+
+class TestQueueCorruption:
+    def test_byte_counter_desync_detected(self):
+        voq = VirtualOutputQueues(4, 0)
+        voq.enqueue(Message(src=0, dst=1, size=64))
+        voq.bytes_pending[1] = 10
+        with pytest.raises(InvariantError):
+            voq.check_invariants()
+
+
+class TestSchedulerCorruption:
+    def test_release_cell_with_free_ports_rejected(self):
+        """Table 2's release case demands A = D = 1; a fabricated L matrix
+        claiming a release on an empty slot is an invariant violation."""
+        n = 4
+        l = np.zeros((n, n), dtype=bool)
+        l[1, 2] = True
+        b_s = np.zeros((n, n), dtype=bool)
+        b_s[1, 2] = True  # connection "exists" ...
+        ao = np.zeros(n, dtype=bool)  # ... but the ports read as free
+        ai = np.zeros(n, dtype=bool)
+        with pytest.raises(InvariantError):
+            wavefront_reference(l, b_s, ao, ai)
+
+
+class TestRunawayProtection:
+    def test_engine_max_events_trips(self):
+        """A network whose clocks never stop is killed by the event cap."""
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=1000)
+
+    def test_lost_delivery_detected(self, monkeypatch):
+        """If deliveries stop reaching the ledger, conservation fails."""
+        from repro.nic.flow import FlowLedger
+
+        params = PAPER_PARAMS.with_overrides(n_ports=4)
+        net = TdmNetwork(params, k=2, mode="dynamic")
+        phase = TrafficPhase("t", [Message(src=0, dst=1, size=64)])
+        assign_seq([phase])
+
+        monkeypatch.setattr(FlowLedger, "deliver", lambda self, *a: None)
+        with pytest.raises(InvariantError):
+            net.run([phase])

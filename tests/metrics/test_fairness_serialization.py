@@ -1,0 +1,121 @@
+"""Unit tests for fairness metrics and result serialisation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics.fairness import jain_index, latency_fairness, throughput_fairness
+from repro.metrics.serialization import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.networks.tdm import TdmNetwork
+from repro.networks.wormhole import WormholeNetwork
+from repro.params import PAPER_PARAMS
+from repro.sim.rng import RngStreams
+from repro.traffic.scatter import ScatterPattern
+from repro.traffic.synthetic import UniformRandomPattern
+
+
+@pytest.fixture
+def params():
+    return PAPER_PARAMS.with_overrides(n_ports=8)
+
+
+@pytest.fixture
+def sample_result(params):
+    pattern = UniformRandomPattern(8, 64, messages_per_node=4)
+    return TdmNetwork(params, k=2, mode="dynamic").run(
+        pattern.phases(RngStreams(3)), pattern_name=pattern.name
+    )
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_perfectly_unfair(self):
+        assert jain_index([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_index([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            jain_index([1.0, -1.0])
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=50))
+    def test_property_bounds(self, xs):
+        j = jain_index(xs)
+        assert 1.0 / len(xs) - 1e-9 <= j <= 1.0 + 1e-9
+
+
+class TestRunFairness:
+    def test_uniform_traffic_is_fair(self, sample_result):
+        assert throughput_fairness(sample_result) > 0.9
+        assert latency_fairness(sample_result) > 0.5
+
+    def test_scatter_throughput_single_source(self, params):
+        pattern = ScatterPattern(8, 64)
+        result = WormholeNetwork(params).run(pattern.phases(RngStreams(0)))
+        # only one active source: trivially fair among active sources
+        assert throughput_fairness(result) == pytest.approx(1.0)
+
+    def test_empty_run_rejected(self, sample_result):
+        sample_result.records.clear()
+        with pytest.raises(ConfigurationError):
+            throughput_fairness(sample_result)
+        with pytest.raises(ConfigurationError):
+            latency_fairness(sample_result)
+
+
+class TestSerialization:
+    def test_roundtrip_exact(self, sample_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(sample_result, path)
+        loaded = load_result(path)
+        assert loaded.scheme == sample_result.scheme
+        assert loaded.makespan_ps == sample_result.makespan_ps
+        assert loaded.params == sample_result.params
+        assert loaded.counters == sample_result.counters
+        assert [dataclass_tuple(r) for r in loaded.records] == [
+            dataclass_tuple(r) for r in sample_result.records
+        ]
+        assert len(loaded.phases) == len(sample_result.phases)
+
+    def test_derived_quantities_survive(self, sample_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(sample_result, path)
+        loaded = load_result(path)
+        assert (
+            loaded.latency_stats().mean
+            == sample_result.latency_stats().mean
+        )
+        assert loaded.throughput_bytes_per_ns == sample_result.throughput_bytes_per_ns
+
+    def test_version_checked(self, sample_result):
+        data = result_to_dict(sample_result)
+        data["format_version"] = 99
+        with pytest.raises(ValueError):
+            result_from_dict(data)
+
+
+def dataclass_tuple(record):
+    return (
+        record.src,
+        record.dst,
+        record.size,
+        record.inject_ps,
+        record.start_ps,
+        record.done_ps,
+        record.seq,
+    )

@@ -1,0 +1,116 @@
+"""Exact-timeline regression tests.
+
+Single-message runs are fully deterministic, so their makespans can be
+derived by hand from the paper's constants.  These tests pin the complete
+control-plane accounting of each scheme against those hand calculations —
+any change to wire delays, pass latching, slot alignment, or pipe fill
+shows up here first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks.circuit import CircuitNetwork
+from repro.networks.tdm import TdmNetwork
+from repro.networks.wormhole import WormholeNetwork
+from repro.params import PAPER_PARAMS
+from repro.traffic.base import TrafficPhase, assign_seq
+from repro.types import Message
+
+PARAMS = PAPER_PARAMS.with_overrides(n_ports=8)
+
+
+def _single(size: int) -> list[TrafficPhase]:
+    phase = TrafficPhase("single", [Message(src=0, dst=1, size=size)])
+    assign_seq([phase])
+    return [phase]
+
+
+class TestTdmTimeline:
+    """Request wire 80 -> pass at 80 establishes -> grant ready at 240 ->
+    first usable slot boundary at 300 -> back-to-back 80-byte slots ->
+    120 ns pipe fill."""
+
+    @pytest.mark.parametrize(
+        "size,expected_ns",
+        [
+            (64, 500.0),   # 300 + 64*1.25 + 120
+            (80, 520.0),   # 300 + 100 + 120
+            (200, 670.0),  # slots at 300/400/500, finish 550, + 120
+            (160, 620.0),  # two full slots: 300..500, + 120
+        ],
+    )
+    def test_single_message_makespan(self, size, expected_ns):
+        result = TdmNetwork(PARAMS, k=4, mode="dynamic").run(_single(size))
+        assert result.makespan_ps == int(expected_ns * 1000)
+
+    def test_k_independent_for_single_stream(self):
+        """Idle-slot skipping gives a lone stream every slot at any K."""
+        makespans = {
+            k: TdmNetwork(PARAMS, k=k, mode="dynamic").run(_single(400)).makespan_ps
+            for k in (1, 2, 8)
+        }
+        assert len(set(makespans.values())) == 1
+
+
+class TestCircuitTimeline:
+    """Request wire 80 -> pass at 80 establishes -> pass latency 80 +
+    grant wire 80 -> transmit at 240 -> tail + 120 ns pipe."""
+
+    @pytest.mark.parametrize(
+        "size,expected_ns",
+        [
+            (80, 460.0),    # 240 + 100 + 120
+            (64, 440.0),    # 240 + 80 + 120
+            (2048, 2920.0),  # 240 + 2560 + 120
+        ],
+    )
+    def test_single_message_makespan(self, size, expected_ns):
+        result = CircuitNetwork(PARAMS).run(_single(size))
+        assert result.makespan_ps == int(expected_ns * 1000)
+
+
+class TestWormholeTimeline:
+    """Head path 60 -> arbitration 80 -> body at link rate -> switch 10 ->
+    exit path 60; worms beyond the first re-arbitrate."""
+
+    @pytest.mark.parametrize(
+        "size,expected_ns",
+        [
+            (64, 290.0),    # 60 + 80 + 80 + 10 + 60
+            (128, 370.0),   # 60 + 80 + 160 + 10 + 60
+        ],
+    )
+    def test_single_worm_makespan(self, size, expected_ns):
+        result = WormholeNetwork(PARAMS).run(_single(size))
+        assert result.makespan_ps == int(expected_ns * 1000)
+
+    def test_two_worm_message(self):
+        """Second worm launches when the first tail leaves the source."""
+        result = WormholeNetwork(PARAMS).run(_single(256))
+        # worm1: launch 0, grant 140, source free at max(0, 140-60)+160=240,
+        #        output port busy until 140+160+10 = 310
+        # worm2: launch 240, head arrives 300 and buffers at the busy switch,
+        #        re-arbitrates when the port frees: grant 310+80 = 390,
+        #        delivered 390+160+10+60 = 620
+        assert result.makespan_ps == 620_000
+
+
+class TestCrossSchemeSingleMessage:
+    def test_scheme_ordering_small_message(self):
+        """For one isolated small message, wormhole is fastest (no slot
+        alignment), TDM next, circuit switching pays the full handshake +
+        the same slot-free pipe."""
+        worm = WormholeNetwork(PARAMS).run(_single(64)).makespan_ps
+        tdm = TdmNetwork(PARAMS, k=4).run(_single(64)).makespan_ps
+        circ = CircuitNetwork(PARAMS).run(_single(64)).makespan_ps
+        assert worm < circ < tdm
+
+    def test_scheme_ordering_large_message(self):
+        """For one large message the per-worm arbitration dominates and
+        circuit switching's single establishment wins."""
+        worm = WormholeNetwork(PARAMS).run(_single(4096)).makespan_ps
+        tdm = TdmNetwork(PARAMS, k=4).run(_single(4096)).makespan_ps
+        circ = CircuitNetwork(PARAMS).run(_single(4096)).makespan_ps
+        assert circ < tdm < worm

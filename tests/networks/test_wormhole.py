@@ -1,0 +1,126 @@
+"""Unit tests for the wormhole baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.networks.wormhole import WormholeNetwork
+from repro.params import PAPER_PARAMS
+from repro.sim.rng import RngStreams
+from repro.traffic.base import TrafficPhase, assign_seq
+from repro.traffic.scatter import ScatterPattern
+from repro.traffic.synthetic import UniformRandomPattern
+from repro.types import Message
+
+
+@pytest.fixture
+def params():
+    return PAPER_PARAMS.with_overrides(n_ports=8)
+
+
+def _phase(messages):
+    phase = TrafficPhase("test", messages)
+    assign_seq([phase])
+    return phase
+
+
+class TestWormSegmentation:
+    def test_small_message_single_worm(self, params):
+        net = WormholeNetwork(params)
+        result = net.run([_phase([Message(src=0, dst=1, size=64)])])
+        assert result.counters["worms_sent"] == 1
+
+    def test_large_message_segments(self, params):
+        net = WormholeNetwork(params)
+        result = net.run([_phase([Message(src=0, dst=1, size=1000)])])
+        # ceil(1000 / 128) = 8 worms
+        assert result.counters["worms_sent"] == 8
+
+    def test_exact_multiple(self, params):
+        net = WormholeNetwork(params)
+        result = net.run([_phase([Message(src=0, dst=1, size=256)])])
+        assert result.counters["worms_sent"] == 2
+
+
+class TestTiming:
+    def test_single_worm_latency(self, params):
+        net = WormholeNetwork(params)
+        result = net.run([_phase([Message(src=0, dst=1, size=64)])])
+        rec = result.records[0]
+        expected = (
+            params.wormhole_head_path_ps  # to the switch
+            + params.scheduler_pass_ps  # arbitration
+            + params.message_bytes_ps(64)  # body streams
+            + params.digital_switch_ps  # switch traversal
+            + params.wormhole_exit_path_ps  # to the NIC
+        )
+        assert rec.done_ps == expected
+
+    def test_per_worm_arbitration_overhead(self, params):
+        """Each worm pays its own 80 ns scheduling — the wormhole tax."""
+        one = WormholeNetwork(params).run(
+            [_phase([Message(src=0, dst=1, size=128)])]
+        )
+        two = WormholeNetwork(params).run(
+            [_phase([Message(src=0, dst=1, size=256)])]
+        )
+        delta = two.makespan_ps - one.makespan_ps
+        assert delta >= params.message_bytes_ps(128)
+        assert delta >= params.scheduler_pass_ps  # the second arbitration shows
+
+
+class TestBlocking:
+    def test_output_contention_blocks(self, params):
+        msgs = [Message(src=u, dst=7, size=128) for u in range(4)]
+        net = WormholeNetwork(params)
+        result = net.run([_phase(msgs)])
+        assert result.counters["worm_blocks"] >= 3
+        assert len(result.records) == 4
+
+    def test_blocked_worm_backpressures_source(self, params):
+        """A source with a blocked worm cannot start its next message."""
+        msgs = [
+            Message(src=0, dst=7, size=128),  # will contend with src 1
+            Message(src=1, dst=7, size=128),
+            Message(src=1, dst=2, size=128),  # stuck behind the blocked worm
+        ]
+        net = WormholeNetwork(params)
+        result = net.run([_phase(msgs)])
+        rec_by_pair = {(r.src, r.dst): r for r in result.records}
+        # message (1,2) finishes after (1,7) despite its free output port
+        assert rec_by_pair[(1, 2)].done_ps > rec_by_pair[(1, 7)].done_ps
+
+    def test_disjoint_traffic_parallel(self, params):
+        msgs = [Message(src=u, dst=u + 4, size=1024) for u in range(4)]
+        net = WormholeNetwork(params)
+        result = net.run([_phase(msgs)])
+        serial = 4 * params.message_bytes_ps(1024)
+        assert result.makespan_ps < serial
+
+
+class TestWorkloads:
+    def test_scatter_completes(self, params):
+        net = WormholeNetwork(params)
+        result = net.run(ScatterPattern(8, 256).phases(RngStreams(0)))
+        assert len(result.records) == 7
+        assert net.ledger.total_delivered == 7 * 256
+
+    def test_uniform_conserves(self, params):
+        pattern = UniformRandomPattern(8, 200, messages_per_node=5)
+        net = WormholeNetwork(params)
+        result = net.run(pattern.phases(RngStreams(1)))
+        assert len(result.records) == 40
+        assert net.ledger.total_delivered == 40 * 200
+
+    def test_large_message_efficiency_caps(self, params):
+        """Worm segmentation caps wormhole efficiency near b/(b + arb)."""
+        from repro.metrics.efficiency import efficiency
+
+        pattern = ScatterPattern(8, 4096)
+        phases = pattern.phases(RngStreams(0))
+        result = WormholeNetwork(params).run(phases)
+        eff = efficiency(result, phases)
+        worm_time = params.message_bytes_ps(params.worm_max_bytes)
+        cap = worm_time / (worm_time + params.scheduler_pass_ps)
+        assert eff <= cap + 0.02
+        assert eff > cap * 0.6

@@ -1,0 +1,105 @@
+"""Unit tests for the Markov next-destination prefetcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predict.markov import MarkovPrefetcher
+from repro.types import Connection
+
+
+@pytest.fixture
+def pf():
+    return MarkovPrefetcher(n=8, hold_ps=1000)
+
+
+class TestValidation:
+    def test_bad_hold(self):
+        with pytest.raises(ConfigurationError):
+            MarkovPrefetcher(8, hold_ps=0)
+
+    def test_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            MarkovPrefetcher(8, hold_ps=10, min_confidence=1.5)
+
+
+class TestLearning:
+    def test_no_prediction_without_history(self, pf):
+        assert pf.predict_next(0, 1) is None
+
+    def test_learns_periodic_sequence(self, pf):
+        for t in range(3):
+            pf.observe(0, 1, t)
+            pf.observe(0, 2, t)
+            pf.observe(0, 3, t)
+        assert pf.predict_next(0, 1) == 2
+        assert pf.predict_next(0, 2) == 3
+        assert pf.predict_next(0, 3) == 1
+
+    def test_confidence_threshold(self):
+        pf = MarkovPrefetcher(8, hold_ps=1000, min_confidence=0.9)
+        # 1 -> 2 half the time, 1 -> 3 the other half: not confident
+        for _ in range(4):
+            pf.observe(0, 1, 0)
+            pf.observe(0, 2, 0)
+            pf.observe(0, 1, 0)
+            pf.observe(0, 3, 0)
+        assert pf.predict_next(0, 1) is None
+
+    def test_sources_independent(self, pf):
+        pf.observe(0, 1, 0)
+        pf.observe(0, 2, 0)
+        assert pf.predict_next(1, 1) is None
+
+    def test_repeated_destination_not_a_transition(self, pf):
+        pf.observe(0, 1, 0)
+        pf.observe(0, 1, 0)  # same destination again
+        assert pf.predict_next(0, 1) is None
+
+
+class TestPrefetchLifecycle:
+    def _train(self, pf):
+        for _ in range(3):
+            pf.observe(0, 1, 0)
+            pf.observe(0, 2, 0)
+
+    def test_prefetch_emits_connection(self, pf):
+        self._train(pf)
+        conn = pf.prefetch(0, 1, t_ps=100)
+        assert conn == Connection(0, 2)
+        assert pf.outstanding == 1
+
+    def test_hit_on_correct_next(self, pf):
+        self._train(pf)
+        pf.prefetch(0, 1, t_ps=100)
+        pf.observe(0, 2, 200)
+        assert pf.hits == 1 and pf.misses == 0
+        assert pf.accuracy() == 1.0
+
+    def test_miss_on_wrong_next(self, pf):
+        self._train(pf)
+        pf.prefetch(0, 1, t_ps=100)
+        pf.observe(0, 5, 200)  # actual next differs
+        assert pf.misses == 1
+        # the wrong latch is handed back for release
+        assert Connection(0, 2) in pf.expired(200)
+
+    def test_timeout_counts_as_miss(self, pf):
+        self._train(pf)
+        pf.prefetch(0, 1, t_ps=100)
+        assert pf.expired(1099) == []
+        assert pf.expired(1100) == [Connection(0, 2)]
+        assert pf.misses == 1
+
+    def test_no_prefetch_to_self(self):
+        pf = MarkovPrefetcher(8, hold_ps=1000)
+        pf._transitions[(0, 1)][0] = 5  # degenerate learned self-loop
+        assert pf.prefetch(0, 1, 0) is None
+
+    def test_stats(self, pf):
+        self._train(pf)
+        pf.prefetch(0, 1, 100)
+        s = pf.stats()
+        assert s["predictions"] == 1 and s["outstanding"] == 1
+        assert pf.accuracy() == 0.0  # nothing resolved yet

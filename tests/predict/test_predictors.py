@@ -1,0 +1,196 @@
+"""Unit tests for the eviction predictors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.predict.base import NullPredictor
+from repro.predict.counter import CounterPredictor
+from repro.predict.hints import HintedPredictor, OraclePredictor
+from repro.predict.timeout import TimeoutPredictor
+from repro.predict.tracker import WorkingSetTracker
+from repro.types import Connection
+
+
+class TestNullPredictor:
+    def test_never_holds(self):
+        p = NullPredictor()
+        p.on_use(0, 1, 100)
+        assert p.on_empty(0, 1, 200) is False
+        assert p.expired(10_000) == []
+
+
+class TestTimeoutPredictor:
+    def test_positive_timeout_required(self):
+        with pytest.raises(ConfigurationError):
+            TimeoutPredictor(0)
+
+    def test_holds_then_expires(self):
+        p = TimeoutPredictor(1000)
+        assert p.on_empty(0, 1, 0) is True
+        assert p.expired(999) == []
+        assert p.expired(1000) == [Connection(0, 1)]
+        assert p.expired(1000) == []  # already evicted
+
+    def test_use_refreshes_deadline(self):
+        p = TimeoutPredictor(1000)
+        p.on_empty(0, 1, 0)
+        p.on_use(0, 1, 900)
+        assert p.expired(1000) == []
+        assert p.expired(1900) == [Connection(0, 1)]
+
+    def test_use_of_untracked_is_noop(self):
+        p = TimeoutPredictor(1000)
+        p.on_use(0, 1, 100)
+        assert p.expired(10_000) == []
+
+    def test_flush_clears(self):
+        p = TimeoutPredictor(1000)
+        p.on_empty(0, 1, 0)
+        p.on_flush(10)
+        assert p.expired(10_000) == []
+
+    def test_forget(self):
+        p = TimeoutPredictor(1000)
+        p.on_empty(0, 1, 0)
+        p.forget(0, 1)
+        assert p.expired(10_000) == []
+
+    def test_stats(self):
+        p = TimeoutPredictor(1000)
+        p.on_empty(0, 1, 0)
+        p.expired(2000)
+        s = p.stats()
+        assert s["holds"] == 1 and s["evictions"] == 1 and s["latched"] == 0
+
+
+class TestCounterPredictor:
+    def test_positive_threshold_required(self):
+        with pytest.raises(ConfigurationError):
+            CounterPredictor(0)
+
+    def test_evicts_after_other_uses(self):
+        p = CounterPredictor(3)
+        p.on_empty(0, 1, 0)
+        for _ in range(2):
+            p.on_use(5, 6, 0)
+        assert p.expired(0) == []
+        p.on_use(5, 6, 0)
+        assert p.expired(0) == [Connection(0, 1)]
+
+    def test_own_use_resets(self):
+        p = CounterPredictor(3)
+        p.on_empty(0, 1, 0)
+        p.on_use(5, 6, 0)
+        p.on_use(5, 6, 0)
+        p.on_use(0, 1, 0)  # resets the counter
+        p.on_use(5, 6, 0)
+        p.on_use(5, 6, 0)
+        assert p.expired(0) == []
+
+    def test_computation_phase_immunity(self):
+        """No other uses -> the latch survives arbitrarily long."""
+        p = CounterPredictor(1)
+        p.on_empty(0, 1, 0)
+        assert p.expired(10**12) == []
+
+    def test_flush_and_forget(self):
+        p = CounterPredictor(1)
+        p.on_empty(0, 1, 0)
+        p.on_flush(0)
+        p.on_use(5, 6, 0)
+        assert p.expired(0) == []
+
+
+class TestHintedPredictor:
+    def test_pinned_never_evicted(self):
+        base = TimeoutPredictor(100)
+        p = HintedPredictor(base, pinned={Connection(0, 1)})
+        assert p.on_empty(0, 1, 0) is True
+        base.on_empty(0, 1, 0)  # even if the base tracks it
+        assert Connection(0, 1) not in p.expired(10_000)
+
+    def test_unpinned_delegates(self):
+        p = HintedPredictor(TimeoutPredictor(100))
+        assert p.on_empty(0, 1, 0) is True
+        assert p.expired(200) == [Connection(0, 1)]
+
+    def test_pin_unpin(self):
+        p = HintedPredictor(TimeoutPredictor(100))
+        p.pin(0, 1)
+        p.on_empty(0, 1, 0)
+        assert p.expired(10_000) == []
+        p.unpin(0, 1)
+        p.on_empty(0, 1, 10_000)
+        assert p.expired(20_001) == [Connection(0, 1)]
+
+    def test_flush_clears_pins(self):
+        p = HintedPredictor(TimeoutPredictor(100), pinned={Connection(0, 1)})
+        p.on_flush(0)
+        assert p.pinned == set()
+        assert p.stats()["flushes"] == 1
+
+
+class TestOraclePredictor:
+    def test_holds_if_reused_soon(self):
+        future = [(0, 1), (2, 3), (0, 1)]
+        p = OraclePredictor(future, horizon=8)
+        p.on_use(0, 1, 0)
+        assert p.on_empty(0, 1, 0) is True  # (0,1) appears again
+
+    def test_rejects_if_never_reused(self):
+        future = [(0, 1), (2, 3)]
+        p = OraclePredictor(future, horizon=8)
+        p.on_use(0, 1, 0)
+        assert p.on_empty(0, 1, 0) is False
+
+    def test_bad_horizon(self):
+        with pytest.raises(ConfigurationError):
+            OraclePredictor([], horizon=0)
+
+    def test_expires_when_out_of_horizon(self):
+        future = [(0, 1), (0, 1)] + [(2, 3)] * 10
+        p = OraclePredictor(future, horizon=2)
+        p.on_use(0, 1, 0)
+        assert p.on_empty(0, 1, 0) is True
+        p.on_use(0, 1, 0)  # consumes the reuse
+        assert Connection(0, 1) in p.expired(0) or p.on_empty(0, 1, 0) is False
+
+
+class TestWorkingSetTracker:
+    def test_window_eviction(self):
+        t = WorkingSetTracker(8, window_ps=1000)
+        t.on_use(0, 1, 0)
+        t.on_use(2, 3, 500)
+        assert t.sample(900) == 2
+        assert t.sample(1400) == 1  # (0,1) aged out
+
+    def test_reuse_refreshes(self):
+        t = WorkingSetTracker(8, window_ps=1000)
+        t.on_use(0, 1, 0)
+        t.on_use(0, 1, 800)
+        assert t.sample(1500) == 1
+
+    def test_required_degree(self):
+        t = WorkingSetTracker(8, window_ps=10_000)
+        t.on_use(0, 1, 0)
+        t.on_use(0, 2, 0)
+        t.on_use(1, 2, 0)
+        assert t.required_degree() == 2
+
+    def test_turnover(self):
+        t = WorkingSetTracker(8, window_ps=10_000)
+        t.on_use(0, 1, 0)
+        assert t.turnover({Connection(0, 1), Connection(2, 3)}) == 0.5
+        assert t.turnover(set()) == 0.0
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            WorkingSetTracker(8, 0)
+
+    def test_history(self):
+        t = WorkingSetTracker(8, window_ps=1000)
+        t.on_use(0, 1, 0)
+        t.sample(10)
+        assert t.history == [(10, 1)]

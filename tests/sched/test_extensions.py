@@ -1,0 +1,126 @@
+"""Unit tests for the scheduler extensions (multi-unit, multi-slot)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import PAPER_PARAMS
+from repro.sched.multislot import QueueDepthBoostPolicy
+from repro.sched.multiunit import MultiUnitScheduler
+from repro.sched.scheduler import Scheduler
+
+
+@pytest.fixture
+def params8():
+    return PAPER_PARAMS.with_overrides(n_ports=8)
+
+
+class TestMultiUnit:
+    def test_needs_positive_units(self, params8):
+        with pytest.raises(ConfigurationError):
+            MultiUnitScheduler(params8, k=4, n_units=0)
+
+    def test_tick_runs_multiple_passes(self, params8):
+        s = MultiUnitScheduler(params8, k=4, n_units=2)
+        for v in range(1, 4):
+            s.set_request(0, v, True)
+        passes = s.sl_tick()
+        assert len(passes) == 2
+        slots = {p.slot for p in passes}
+        assert len(slots) == 2  # distinct slots per unit
+
+    def test_units_do_not_duplicate_connections(self, params8):
+        s = MultiUnitScheduler(params8, k=4, n_units=4)
+        s.set_request(0, 1, True)
+        s.sl_tick()
+        # four units, one request: established exactly once
+        assert len(s.registers.slots_of(0, 1)) == 1
+
+    def test_faster_establishment_than_single_unit(self, params8):
+        """Four units fill four slots for one source in a single tick."""
+        multi = MultiUnitScheduler(params8, k=4, n_units=4)
+        single = Scheduler(params8, k=4)
+        for v in range(1, 5):
+            multi.set_request(0, v, True)
+            single.set_request(0, v, True)
+        multi.sl_tick()
+        single.sl_pass()
+        multi_count = int(multi.registers.b_star.sum())
+        single_count = int(single.registers.b_star.sum())
+        assert multi_count == 4
+        assert single_count == 1
+
+    def test_tick_with_all_pinned_reports_idle(self, params8):
+        from repro.fabric.config import ConfigMatrix
+
+        s = MultiUnitScheduler(params8, k=2, n_units=2)
+        s.preload([ConfigMatrix(8), ConfigMatrix(8)])
+        passes = s.sl_tick()
+        assert len(passes) == 1 and passes[0].slot is None
+
+
+class TestBoostPolicy:
+    def test_validation(self, params8):
+        s = Scheduler(params8, k=4)
+        with pytest.raises(ConfigurationError):
+            QueueDepthBoostPolicy(s, threshold_bytes=0)
+        with pytest.raises(ConfigurationError):
+            QueueDepthBoostPolicy(s, threshold_bytes=100, max_slots=0)
+
+    def test_boost_mask_set_for_deep_requested_queues(self, params8):
+        s = Scheduler(params8, k=4)
+        policy = QueueDepthBoostPolicy(s, threshold_bytes=100, max_slots=2)
+        s.set_request(0, 1, True)
+        q = np.zeros((8, 8), dtype=np.int64)
+        q[0, 1] = 500
+        policy.update(q)
+        assert s.boost[0, 1]
+
+    def test_no_boost_without_request(self, params8):
+        s = Scheduler(params8, k=4)
+        policy = QueueDepthBoostPolicy(s, threshold_bytes=100)
+        q = np.zeros((8, 8), dtype=np.int64)
+        q[0, 1] = 500
+        policy.update(q)
+        assert not s.boost[0, 1]
+
+    def test_boost_capped_at_max_slots(self, params8):
+        s = Scheduler(params8, k=4)
+        policy = QueueDepthBoostPolicy(s, threshold_bytes=100, max_slots=2)
+        s.set_request(0, 1, True)
+        q = np.zeros((8, 8), dtype=np.int64)
+        q[0, 1] = 10_000
+        for _ in range(8):
+            policy.update(q)
+            s.sl_pass()
+        assert len(s.registers.slots_of(0, 1)) == 2
+
+    def test_release_excess_trims_to_one_slot(self, params8):
+        s = Scheduler(params8, k=4)
+        policy = QueueDepthBoostPolicy(s, threshold_bytes=100, max_slots=2)
+        s.set_request(0, 1, True)
+        q = np.zeros((8, 8), dtype=np.int64)
+        q[0, 1] = 10_000
+        for _ in range(8):
+            policy.update(q)
+            s.sl_pass()
+        assert len(s.registers.slots_of(0, 1)) == 2
+        q[0, 1] = 10  # backlog drained below threshold
+        released = policy.release_excess(q)
+        assert released == 1
+        assert len(s.registers.slots_of(0, 1)) == 1
+
+    def test_release_excess_spares_pinned(self, params8):
+        from repro.fabric.config import ConfigMatrix
+
+        s = Scheduler(params8, k=4)
+        policy = QueueDepthBoostPolicy(s, threshold_bytes=100, max_slots=2)
+        s.registers.load(0, ConfigMatrix.from_pairs(8, [(0, 1)]), pin=True)
+        s.registers.establish(1, 0, 1)
+        q = np.zeros((8, 8), dtype=np.int64)
+        released = policy.release_excess(q)
+        # slot 1 (unpinned) released; the pinned slot-0 copy kept
+        assert released == 1
+        assert s.registers.slots_of(0, 1) == [0]

@@ -1,0 +1,120 @@
+"""Unit and property tests for the Table-1 pre-scheduling logic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import InvariantError
+from repro.sched.presched import compute_l
+
+
+def _m(*rows):
+    return np.array(rows, dtype=bool)
+
+
+class TestTable1Cases:
+    """Each row of Table 1, element-wise."""
+
+    def test_not_requested_not_in_slot(self):
+        res = compute_l(_m([0]), _m([0]), _m([0]))
+        assert not res.l[0, 0]
+
+    def test_release_case(self):
+        # requested nowhere, but realised in slot s -> release
+        res = compute_l(_m([0]), _m([1]), _m([1]))
+        assert res.l[0, 0] and res.release[0, 0] and not res.establish[0, 0]
+
+    def test_requested_realized_elsewhere(self):
+        # R=1, B*=1 (some other slot), B(s)=0 -> no change
+        res = compute_l(_m([1]), _m([0]), _m([1]))
+        assert not res.l[0, 0]
+
+    def test_requested_realized_in_this_slot(self):
+        # R=1, B*=1, B(s)=1 -> no change (keep the connection)
+        res = compute_l(_m([1]), _m([1]), _m([1]))
+        assert not res.l[0, 0]
+
+    def test_establish_case(self):
+        res = compute_l(_m([1]), _m([0]), _m([0]))
+        assert res.l[0, 0] and res.establish[0, 0] and not res.release[0, 0]
+
+    def test_release_and_establish_disjoint(self):
+        r = _m([1, 0], [0, 1])
+        b_s = _m([0, 0], [1, 0])
+        b_star = _m([0, 0], [1, 0])
+        res = compute_l(r, b_s, b_star)
+        assert not np.any(res.release & res.establish)
+        assert np.array_equal(res.l, res.release | res.establish)
+
+
+class TestExtensions:
+    def test_hold_suppresses_release(self):
+        # request dropped but the latch holds the connection
+        hold = _m([1])
+        res = compute_l(_m([0]), _m([1]), _m([1]), hold=hold)
+        assert not res.l[0, 0]
+
+    def test_hold_does_not_create_establish_without_need(self):
+        # latched connection already realised: nothing to do
+        res = compute_l(_m([0]), _m([0]), _m([1]), hold=_m([1]))
+        assert not res.l[0, 0]
+
+    def test_hold_can_establish(self):
+        # a latched connection that lost its slot is re-established
+        res = compute_l(_m([0]), _m([0]), _m([0]), hold=_m([1]))
+        assert res.establish[0, 0]
+
+    def test_boost_allows_second_slot(self):
+        # realised in another slot, but boosted -> establish here too
+        res = compute_l(_m([1]), _m([0]), _m([1]), boost=_m([1]))
+        assert res.establish[0, 0]
+
+    def test_boost_not_applied_to_same_slot(self):
+        # already realised in this very slot: no duplicate toggle
+        res = compute_l(_m([1]), _m([1]), _m([1]), boost=_m([1]))
+        assert not res.l[0, 0]
+
+
+class TestValidation:
+    def test_b_s_implies_b_star(self):
+        with pytest.raises(InvariantError):
+            compute_l(_m([0]), _m([1]), _m([0]), validate=True)
+
+    def test_validate_shapes(self):
+        with pytest.raises(InvariantError):
+            compute_l(
+                np.zeros((2, 2), bool),
+                np.zeros((2, 3), bool),
+                np.zeros((2, 2), bool),
+                validate=True,
+            )
+
+    def test_validate_dtype(self):
+        with pytest.raises(InvariantError):
+            compute_l(
+                np.zeros((2, 2), int),
+                np.zeros((2, 2), bool),
+                np.zeros((2, 2), bool),
+                validate=True,
+            )
+
+
+@given(
+    arrays(bool, (6, 6)),
+    arrays(bool, (6, 6)),
+)
+def test_property_l_definition(r, b_star_extra):
+    """L == (establish | release) with the documented definitions."""
+    # build a consistent (b_s, b_star) pair: b_s subset of b_star
+    b_s = b_star_extra & r  # arbitrary but deterministic subset
+    b_star = b_star_extra | b_s
+    res = compute_l(r, b_s, b_star, validate=True)
+    expected_release = ~r & b_s
+    expected_establish = r & ~b_star
+    assert np.array_equal(res.release, expected_release)
+    assert np.array_equal(res.establish, expected_establish)
+    assert np.array_equal(res.l, expected_release | expected_establish)

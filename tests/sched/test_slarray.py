@@ -1,0 +1,238 @@
+"""Unit and property tests for the SL array (Table 2).
+
+The dense :func:`wavefront_reference` is the oracle; the sparse fast path
+must match it bit for bit on arbitrary inputs, including rotated priority
+injection points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.config import ConfigMatrix
+from repro.sched.presched import compute_l
+from repro.sched.slarray import wavefront_reference, wavefront_sparse
+
+
+def _run_sparse(l, b_s, ao, ai, rotation=(0, 0)):
+    rows, cols = np.nonzero(l)
+    return wavefront_sparse(rows, cols, b_s, ao, ai, rotation)
+
+
+def _apply(b_s, outcome):
+    out = b_s.copy()
+    for t in outcome.toggles:
+        out[t.u, t.v] = not out[t.u, t.v]
+    return out
+
+
+def _valid_partial_permutation(b):
+    return b.sum(axis=0).max(initial=0) <= 1 and b.sum(axis=1).max(initial=0) <= 1
+
+
+class TestTable2Semantics:
+    def test_single_establish(self):
+        n = 4
+        l = np.zeros((n, n), bool)
+        l[1, 2] = True
+        b_s = np.zeros((n, n), bool)
+        out = wavefront_reference(l, b_s, b_s.any(0), b_s.any(1))
+        assert len(out.toggles) == 1
+        t = out.toggles[0]
+        assert (t.u, t.v, t.establish) == (1, 2, True)
+
+    def test_single_release(self):
+        n = 4
+        cfg = ConfigMatrix.from_pairs(n, [(1, 2)])
+        l = np.zeros((n, n), bool)
+        l[1, 2] = True
+        out = wavefront_reference(l, cfg.b, cfg.output_busy(), cfg.input_busy())
+        assert out.toggles[0].establish is False
+
+    def test_establish_blocked_by_input(self):
+        n = 4
+        cfg = ConfigMatrix.from_pairs(n, [(1, 3)])  # input 1 busy
+        l = np.zeros((n, n), bool)
+        l[1, 2] = True
+        out = wavefront_reference(l, cfg.b, cfg.output_busy(), cfg.input_busy())
+        assert out.toggles == [] and out.blocked == 1
+
+    def test_establish_blocked_by_output(self):
+        n = 4
+        cfg = ConfigMatrix.from_pairs(n, [(0, 2)])  # output 2 busy
+        l = np.zeros((n, n), bool)
+        l[1, 2] = True
+        out = wavefront_reference(l, cfg.b, cfg.output_busy(), cfg.input_busy())
+        assert out.toggles == [] and out.blocked == 1
+
+    def test_release_frees_for_later_cell(self):
+        """A release at (0,1) lets (2,1) establish in the same pass."""
+        n = 4
+        cfg = ConfigMatrix.from_pairs(n, [(0, 1)])
+        l = np.zeros((n, n), bool)
+        l[0, 1] = True  # release
+        l[2, 1] = True  # wants the freed output
+        out = wavefront_reference(l, cfg.b, cfg.output_busy(), cfg.input_busy())
+        kinds = {(t.u, t.v): t.establish for t in out.toggles}
+        assert kinds == {(0, 1): False, (2, 1): True}
+
+    def test_release_does_not_free_for_earlier_cell(self):
+        """A cell before the release in wavefront order still sees it busy."""
+        n = 4
+        cfg = ConfigMatrix.from_pairs(n, [(2, 1)])
+        l = np.zeros((n, n), bool)
+        l[2, 1] = True  # release, row 2
+        l[0, 1] = True  # establish attempt, row 0 (earlier in the wavefront)
+        out = wavefront_reference(l, cfg.b, cfg.output_busy(), cfg.input_busy())
+        kinds = {(t.u, t.v): t.establish for t in out.toggles}
+        assert kinds == {(2, 1): False}
+        assert out.blocked == 1
+
+    def test_row_conflict_one_winner(self):
+        """Two establishes in one row: only the first in order wins."""
+        n = 4
+        l = np.zeros((n, n), bool)
+        l[1, 0] = l[1, 3] = True
+        b_s = np.zeros((n, n), bool)
+        out = wavefront_reference(l, b_s, b_s.any(0), b_s.any(1))
+        assert len(out.established) == 1
+        assert out.established[0].v == 0  # column order
+        assert out.blocked == 1
+
+    def test_column_conflict_one_winner(self):
+        n = 4
+        l = np.zeros((n, n), bool)
+        l[0, 2] = l[3, 2] = True
+        b_s = np.zeros((n, n), bool)
+        out = wavefront_reference(l, b_s, b_s.any(0), b_s.any(1))
+        assert len(out.established) == 1
+        assert out.established[0].u == 0  # row order
+        assert out.blocked == 1
+
+    def test_full_permutation_in_one_pass(self):
+        """An empty slot plus a full-permutation L establishes all N."""
+        n = 8
+        l = np.zeros((n, n), bool)
+        for u in range(n):
+            l[u, (u + 3) % n] = True
+        b_s = np.zeros((n, n), bool)
+        out = wavefront_reference(l, b_s, b_s.any(0), b_s.any(1))
+        assert len(out.established) == n
+        assert out.blocked == 0
+
+
+class TestRotation:
+    def test_rotation_changes_winner(self):
+        n = 4
+        l = np.zeros((n, n), bool)
+        l[0, 2] = l[3, 2] = True  # column conflict
+        b_s = np.zeros((n, n), bool)
+        out_fixed = wavefront_reference(l, b_s, b_s.any(0), b_s.any(1), (0, 0))
+        out_rot = wavefront_reference(l, b_s, b_s.any(0), b_s.any(1), (3, 0))
+        assert out_fixed.established[0].u == 0
+        assert out_rot.established[0].u == 3
+
+    def test_rotation_modulo(self):
+        n = 4
+        l = np.zeros((n, n), bool)
+        l[1, 1] = True
+        b_s = np.zeros((n, n), bool)
+        a = wavefront_reference(l, b_s, b_s.any(0), b_s.any(1), (5, 9))
+        b = wavefront_reference(l, b_s, b_s.any(0), b_s.any(1), (1, 1))
+        assert [(t.u, t.v) for t in a.toggles] == [(t.u, t.v) for t in b.toggles]
+
+
+class TestOutcomeHelpers:
+    def test_toggle_matrix(self):
+        n = 4
+        l = np.zeros((n, n), bool)
+        l[1, 2] = True
+        b_s = np.zeros((n, n), bool)
+        out = wavefront_reference(l, b_s, b_s.any(0), b_s.any(1))
+        tm = out.toggle_matrix(n)
+        assert tm[1, 2] and tm.sum() == 1
+
+    def test_empty_sparse(self):
+        n = 4
+        b_s = np.zeros((n, n), bool)
+        out = _run_sparse(np.zeros((n, n), bool), b_s, b_s.any(0), b_s.any(1))
+        assert out.toggles == [] and out.blocked == 0
+
+
+# -- the big equivalence property ---------------------------------------------
+
+
+@st.composite
+def slot_and_requests(draw, n=8):
+    """A random valid slot configuration plus a random request matrix."""
+    # random partial permutation for the slot
+    perm = draw(st.permutations(list(range(n))))
+    keep = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    cfg = ConfigMatrix(n)
+    for u, (v, k) in enumerate(zip(perm, keep)):
+        if k:
+            cfg.establish(u, v)
+    r = np.array(
+        draw(st.lists(st.lists(st.booleans(), min_size=n, max_size=n),
+                      min_size=n, max_size=n)),
+        dtype=bool,
+    )
+    # B* must contain B(s); add some extra established-elsewhere bits
+    extra = np.array(
+        draw(st.lists(st.lists(st.booleans(), min_size=n, max_size=n),
+                      min_size=n, max_size=n)),
+        dtype=bool,
+    )
+    b_star = cfg.b | extra
+    rotation = (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+    return cfg, r, b_star, rotation
+
+
+@settings(max_examples=200, deadline=None)
+@given(slot_and_requests())
+def test_sparse_equals_dense_reference(case):
+    """The O(nnz) sparse pass is bit-identical to the dense Table-2 oracle."""
+    cfg, r, b_star, rotation = case
+    pres = compute_l(r, cfg.b, b_star)
+    ao, ai = cfg.output_busy(), cfg.input_busy()
+    dense = wavefront_reference(pres.l, cfg.b, ao, ai, rotation)
+    sparse = _run_sparse(pres.l, cfg.b, ao, ai, rotation)
+    assert [(t.u, t.v, t.establish) for t in dense.toggles] == [
+        (t.u, t.v, t.establish) for t in sparse.toggles
+    ]
+    assert dense.blocked == sparse.blocked
+
+
+@settings(max_examples=200, deadline=None)
+@given(slot_and_requests())
+def test_pass_output_is_valid_partial_permutation(case):
+    """Applying any pass to a valid slot yields a valid slot."""
+    cfg, r, b_star, rotation = case
+    pres = compute_l(r, cfg.b, b_star)
+    out = wavefront_reference(pres.l, cfg.b, cfg.output_busy(), cfg.input_busy(), rotation)
+    after = _apply(cfg.b, out)
+    assert _valid_partial_permutation(after)
+
+
+@settings(max_examples=100, deadline=None)
+@given(slot_and_requests())
+def test_pass_never_releases_requested_connections(case):
+    """A connection with its request up is never torn down by a pass."""
+    cfg, r, b_star, rotation = case
+    pres = compute_l(r, cfg.b, b_star)
+    out = wavefront_reference(pres.l, cfg.b, cfg.output_busy(), cfg.input_busy(), rotation)
+    for t in out.released:
+        assert not r[t.u, t.v]
+
+
+@settings(max_examples=100, deadline=None)
+@given(slot_and_requests())
+def test_pass_establishes_only_requested(case):
+    cfg, r, b_star, rotation = case
+    pres = compute_l(r, cfg.b, b_star)
+    out = wavefront_reference(pres.l, cfg.b, cfg.output_busy(), cfg.input_busy(), rotation)
+    for t in out.established:
+        assert r[t.u, t.v] and not b_star[t.u, t.v]

@@ -1,0 +1,95 @@
+"""Exhaustive small-N verification of the SL array.
+
+At N = 2 the whole input space is enumerable: every valid slot
+configuration, every request matrix, every extra-B* mask, and every
+priority rotation.  The dense behavioural oracle, the sparse fast path,
+and the gate-level netlist must agree on *all* of them — no sampling, no
+luck.  N = 3 is checked with full (config, R, rotation) enumeration and
+the empty extra mask.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.fabric.config import ConfigMatrix
+from repro.hw.rtl import SLArrayNetlist
+from repro.sched.presched import compute_l
+from repro.sched.slarray import wavefront_reference, wavefront_sparse
+
+
+def _partial_permutations(n):
+    """All valid slot configurations of an n-port crossbar."""
+    configs = []
+    for dsts in itertools.product([-1, *range(n)], repeat=n):
+        used = [d for d in dsts if d >= 0]
+        if len(used) != len(set(used)):
+            continue
+        configs.append(ConfigMatrix.from_permutation(list(dsts)))
+    return configs
+
+
+def _bool_matrices(n):
+    for bits in itertools.product([False, True], repeat=n * n):
+        yield np.array(bits, dtype=bool).reshape(n, n)
+
+
+def _agree(cfg, r, b_star, rotation):
+    pres = compute_l(r, cfg.b, b_star)
+    ao, ai = cfg.output_busy(), cfg.input_busy()
+    dense = wavefront_reference(pres.l, cfg.b, ao, ai, rotation)
+    rows, cols = np.nonzero(pres.l)
+    sparse = wavefront_sparse(rows, cols, cfg.b, ao, ai, rotation)
+    netlist = SLArrayNetlist(cfg.n).evaluate(pres.l, cfg.b, ao, ai, rotation)
+    dense_t = dense.toggle_matrix(cfg.n)
+    assert [(t.u, t.v, t.establish) for t in dense.toggles] == [
+        (t.u, t.v, t.establish) for t in sparse.toggles
+    ]
+    assert np.array_equal(dense_t, netlist)
+    # applying the toggles keeps the slot a valid partial permutation
+    after = cfg.b ^ dense_t
+    assert after.sum(axis=0).max(initial=0) <= 1
+    assert after.sum(axis=1).max(initial=0) <= 1
+
+
+def test_exhaustive_n2():
+    """Every input at N = 2: 7 configs x 16 R x 16 extras x 4 rotations."""
+    n = 2
+    checked = 0
+    for cfg in _partial_permutations(n):
+        for r in _bool_matrices(n):
+            for extra in _bool_matrices(n):
+                b_star = cfg.b | extra
+                for rotation in itertools.product(range(n), repeat=2):
+                    _agree(cfg, r, b_star, rotation)
+                    checked += 1
+    assert checked == 7 * 16 * 16 * 4
+
+
+def test_exhaustive_n3_without_extras():
+    """Every (config, R, rotation) at N = 3 with B* = B(s)."""
+    n = 3
+    checked = 0
+    for cfg in _partial_permutations(n):
+        for r in _bool_matrices(n):
+            for rotation in ((0, 0), (1, 2), (2, 1)):
+                _agree(cfg, r, cfg.b.copy(), rotation)
+                checked += 1
+    assert checked == 34 * 512 * 3
+
+
+@pytest.mark.parametrize("rotation", [(0, 0), (1, 0), (0, 1), (2, 2)])
+def test_full_matrix_requests_n3(rotation):
+    """The all-ones request matrix on an empty slot always yields a
+    maximal matching (here: a full permutation of 3)."""
+    n = 3
+    cfg = ConfigMatrix(n)
+    r = np.ones((n, n), dtype=bool)
+    pres = compute_l(r, cfg.b, cfg.b.copy())
+    out = wavefront_reference(
+        pres.l, cfg.b, cfg.output_busy(), cfg.input_busy(), rotation
+    )
+    assert len(out.established) == n

@@ -1,0 +1,85 @@
+"""Unit tests for time units and conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import (
+    PS_PER_NS,
+    byte_time_ps,
+    bytes_to_ps,
+    ns,
+    ps_to_bytes,
+    ps_to_ns,
+    us,
+)
+
+
+class TestNs:
+    def test_integer_ns(self):
+        assert ns(10) == 10_000
+
+    def test_zero(self):
+        assert ns(0) == 0
+
+    def test_fractional_exact(self):
+        assert ns(0.5) == 500
+
+    def test_fractional_inexact_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ns(0.0001234567)
+
+    def test_us(self):
+        assert us(1) == 1_000_000
+
+    def test_roundtrip(self):
+        assert ps_to_ns(ns(123)) == 123.0
+
+
+class TestByteTime:
+    def test_paper_rate_is_1250ps(self):
+        assert byte_time_ps(6.4) == 1250
+
+    def test_8gbps(self):
+        assert byte_time_ps(8.0) == 1000
+
+    def test_1gbps(self):
+        assert byte_time_ps(1.0) == 8000
+
+    def test_non_integer_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            byte_time_ps(7.3)  # 8000/7.3 is not an integer ps
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            byte_time_ps(0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            byte_time_ps(-6.4)
+
+
+class TestBytesConversions:
+    def test_bytes_to_ps(self):
+        assert bytes_to_ps(80, 1250) == 100_000  # one slot
+
+    def test_bytes_to_ps_zero(self):
+        assert bytes_to_ps(0, 1250) == 0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bytes_to_ps(-1, 1250)
+
+    def test_ps_to_bytes_floor(self):
+        assert ps_to_bytes(99_999, 1250) == 79
+
+    def test_ps_to_bytes_exact(self):
+        assert ps_to_bytes(100_000, 1250) == 80
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ps_to_bytes(-1, 1250)
+
+    def test_ps_per_ns_constant(self):
+        assert PS_PER_NS == 1000

@@ -1,0 +1,168 @@
+"""Unit tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Priority, Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(5, lambda: times.append(sim.now))
+        sim.schedule(15, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5, 15]
+
+    def test_priority_breaks_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, order.append, "default", priority=Priority.DEFAULT)
+        sim.schedule(10, order.append, "fabric", priority=Priority.FABRIC)
+        sim.schedule(10, order.append, "wire", priority=Priority.WIRE)
+        sim.run()
+        assert order == ["fabric", "wire", "default"]
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10, order.append, 1)
+        sim.schedule(10, order.append, 2)
+        sim.run()
+        assert order == [1, 2]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        hits = []
+
+        def outer():
+            hits.append(("outer", sim.now))
+            sim.schedule(7, inner)
+
+        def inner():
+            hits.append(("inner", sim.now))
+
+        sim.schedule(3, outer)
+        sim.run()
+        assert hits == [("outer", 3), ("inner", 10)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.schedule(10, hits.append, "x")
+        ev.cancel()
+        sim.run()
+        assert hits == []
+
+    def test_cancel_twice_is_safe(self):
+        sim = Simulator()
+        ev = sim.schedule(10, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        sim.run()
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10, hits.append, "keep")
+        ev = sim.schedule(10, hits.append, "drop")
+        ev.cancel()
+        sim.run()
+        assert hits == ["keep"]
+
+
+class TestRunControls:
+    def test_stop_ends_loop(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10, lambda: (hits.append(1), sim.stop()))
+        sim.schedule(20, hits.append, 2)
+        sim.run()
+        assert hits == [1]
+
+    def test_resume_after_stop(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10, lambda: (hits.append("a"), sim.stop()))
+        sim.schedule(20, hits.append, "b")
+        sim.run()
+        assert len(hits) == 1
+        sim.run()
+        assert hits[-1] == "b"
+
+    def test_until_horizon(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10, hits.append, "early")
+        sim.schedule(100, hits.append, "late")
+        sim.run(until=50)
+        assert hits == ["early"]
+        assert sim.now == 50
+        sim.run()
+        assert hits == ["early", "late"]
+
+    def test_max_events_raises(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1, loop)
+
+        sim.schedule(1, loop)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_executed == 5
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(5, lambda: None)
+        sim.schedule(9, lambda: None)
+        ev.cancel()
+        assert sim.peek_time() == 9
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None
+
+    def test_run_until_idle(self):
+        sim = Simulator()
+        state = {"work": 3}
+
+        def worker():
+            state["work"] -= 1
+            if state["work"]:
+                sim.schedule(10, worker)
+
+        sim.schedule(0, worker)
+        sim.run_until_idle(lambda: state["work"] == 0, poll_ps=5)
+        assert state["work"] == 0

@@ -1,0 +1,91 @@
+"""Property tests for the event kernel's ordering guarantees."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Event, Priority, Simulator
+
+
+@st.composite
+def event_specs(draw):
+    return draw(
+        st.lists(
+            st.tuples(st.integers(0, 1000), st.integers(0, 90)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(event_specs())
+def test_execution_respects_total_order(specs):
+    """Events run sorted by (time, priority, insertion sequence)."""
+    sim = Simulator()
+    log: list[tuple[int, int, int]] = []
+    for seq, (t, prio) in enumerate(specs):
+        sim.schedule(
+            t,
+            (lambda t=t, prio=prio, seq=seq: log.append((t, prio, seq))),
+            priority=prio,
+        )
+    sim.run()
+    assert log == sorted(log)
+    assert len(log) == len(specs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(event_specs(), st.integers(0, 1000))
+def test_until_horizon_partitions_execution(specs, horizon):
+    """run(until=h) runs exactly the events at t <= h, then the rest."""
+    sim = Simulator()
+    ran: list[int] = []
+    for t, prio in specs:
+        sim.schedule(t, (lambda t=t: ran.append(t)), priority=prio)
+    sim.run(until=horizon)
+    assert all(t <= horizon for t in ran)
+    early = len(ran)
+    assert early == sum(1 for t, _ in specs if t <= horizon)
+    sim.run()
+    assert len(ran) == len(specs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(event_specs(), st.data())
+def test_cancellation_removes_exactly_the_cancelled(specs, data):
+    sim = Simulator()
+    ran: list[int] = []
+    events: list[Event] = []
+    for i, (t, prio) in enumerate(specs):
+        events.append(
+            sim.schedule(t, (lambda i=i: ran.append(i)), priority=prio)
+        )
+    to_cancel = data.draw(
+        st.sets(st.integers(0, len(specs) - 1), max_size=len(specs))
+    )
+    for i in to_cancel:
+        events[i].cancel()
+    sim.run()
+    assert set(ran) == set(range(len(specs))) - to_cancel
+
+
+def test_event_ordering_operator():
+    a = Event(10, 0, 0, lambda: None, ())
+    b = Event(10, 0, 1, lambda: None, ())
+    c = Event(10, 1, 0, lambda: None, ())
+    d = Event(9, 99, 99, lambda: None, ())
+    assert a < b < c
+    assert d < a
+
+
+def test_priority_constants_are_ordered():
+    assert (
+        Priority.FABRIC
+        < Priority.WIRE
+        < Priority.SCHEDULER
+        < Priority.TRANSFER
+        < Priority.NIC
+        < Priority.MONITOR
+    )

@@ -1,0 +1,142 @@
+"""Unit tests for the online statistics accumulators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sim.stats import Counter, Histogram, OnlineStats
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.count == 0
+        assert s.variance == 0.0
+
+    def test_single_value(self):
+        s = OnlineStats()
+        s.add(5.0)
+        assert s.mean == 5.0
+        assert s.minimum == 5.0
+        assert s.maximum == 5.0
+        assert s.stddev == 0.0
+
+    def test_known_sequence(self):
+        s = OnlineStats()
+        for x in [2, 4, 4, 4, 5, 5, 7, 9]:
+            s.add(x)
+        assert s.mean == pytest.approx(5.0)
+        assert s.stddev == pytest.approx(2.0)
+        assert s.total == 40
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_matches_numpy(self, xs):
+        s = OnlineStats()
+        for x in xs:
+            s.add(x)
+        assert s.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert s.variance == pytest.approx(np.var(xs), rel=1e-6, abs=1e-3)
+        assert s.minimum == min(xs)
+        assert s.maximum == max(xs)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    def test_merge_equals_sequential(self, xs, ys):
+        merged = OnlineStats()
+        for x in xs:
+            merged.add(x)
+        other = OnlineStats()
+        for y in ys:
+            other.add(y)
+        merged.merge(other)
+        combined = OnlineStats()
+        for v in xs + ys:
+            combined.add(v)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(combined.variance, rel=1e-6, abs=1e-3)
+
+    def test_merge_into_empty(self):
+        a = OnlineStats()
+        b = OnlineStats()
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 1 and a.mean == 3.0
+
+    def test_merge_empty_is_noop(self):
+        a = OnlineStats()
+        a.add(1.0)
+        a.merge(OnlineStats())
+        assert a.count == 1
+
+
+class TestHistogram:
+    def test_bins(self):
+        h = Histogram(bin_width=10.0, n_bins=4)
+        for x in [0, 5, 15, 35]:
+            h.add(x)
+        assert h.counts == [2, 1, 0, 1]
+        assert h.overflow == 0
+
+    def test_overflow(self):
+        h = Histogram(bin_width=10.0, n_bins=2)
+        h.add(25.0)
+        assert h.overflow == 1
+        assert h.count == 1
+
+    def test_negative_rejected(self):
+        h = Histogram(bin_width=1.0, n_bins=2)
+        with pytest.raises(ConfigurationError):
+            h.add(-1.0)
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(bin_width=0, n_bins=4)
+        with pytest.raises(ConfigurationError):
+            Histogram(bin_width=1.0, n_bins=0)
+
+    def test_quantile_empty(self):
+        assert Histogram(bin_width=1.0, n_bins=4).quantile(0.5) == 0.0
+
+    def test_quantile_median(self):
+        h = Histogram(bin_width=1.0, n_bins=100)
+        for x in range(100):
+            h.add(x + 0.5)
+        assert h.quantile(0.5) == pytest.approx(50.0, abs=1.5)
+
+    def test_quantile_out_of_range(self):
+        h = Histogram(bin_width=1.0, n_bins=4)
+        with pytest.raises(ConfigurationError):
+            h.quantile(1.5)
+
+    def test_mean_tracked_exactly(self):
+        h = Histogram(bin_width=100.0, n_bins=4)
+        h.add(3.0)
+        h.add(5.0)
+        assert h.mean == pytest.approx(4.0)
+
+
+class TestCounter:
+    def test_inc_and_get(self):
+        c = Counter()
+        c.inc("a")
+        c.inc("a", 2)
+        assert c["a"] == 3
+
+    def test_missing_is_zero(self):
+        assert Counter()["nope"] == 0
+
+    def test_as_dict_copies(self):
+        c = Counter()
+        c.inc("a")
+        d = c.as_dict()
+        d["a"] = 99
+        assert c["a"] == 1

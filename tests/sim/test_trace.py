@@ -1,0 +1,52 @@
+"""Unit tests for the trace recorder."""
+
+from __future__ import annotations
+
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+class TestTracer:
+    def test_record_and_read(self):
+        t = Tracer()
+        t.record(100, "send", src=1, dst=2)
+        events = list(t.events())
+        assert len(events) == 1
+        assert events[0].kind == "send"
+        assert events[0].payload == {"src": 1, "dst": 2}
+
+    def test_filter_by_kind(self):
+        t = Tracer()
+        t.record(1, "a")
+        t.record(2, "b")
+        t.record(3, "a")
+        assert len(list(t.events("a"))) == 2
+
+    def test_ring_buffer_drops_oldest(self):
+        t = Tracer(capacity=2)
+        t.record(1, "x")
+        t.record(2, "y")
+        t.record(3, "z")
+        kinds = [e.kind for e in t.events()]
+        assert kinds == ["y", "z"]
+        assert t.dropped == 1
+
+    def test_disabled_records_nothing(self):
+        t = Tracer(enabled=False)
+        t.record(1, "x")
+        assert len(t) == 0
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.record(1, "x")
+        assert len(NULL_TRACER) == 0
+
+    def test_clear(self):
+        t = Tracer()
+        t.record(1, "x")
+        t.clear()
+        assert len(t) == 0
+
+    def test_str_rendering(self):
+        t = Tracer()
+        t.record(1500, "send", dst=3)
+        text = str(next(t.events()))
+        assert "1.5 ns" in text and "send" in text and "dst=3" in text

@@ -1,0 +1,135 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table3_parses(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.ports == 128
+
+    def test_global_flags(self):
+        args = build_parser().parse_args(["--ports", "16", "--seed", "7", "table3"])
+        assert args.ports == 16 and args.seed == 7
+
+
+class TestCommands:
+    def test_table3(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "385" in out
+
+    def test_figure4_subset(self, capsys):
+        rc = main(
+            [
+                "--ports",
+                "16",
+                "figure4",
+                "--sizes",
+                "64",
+                "--patterns",
+                "scatter",
+                "--schemes",
+                "wormhole",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scatter" in out and "wormhole" in out
+
+    def test_figure4_csv(self, capsys):
+        rc = main(
+            [
+                "--ports",
+                "16",
+                "figure4",
+                "--sizes",
+                "64",
+                "--patterns",
+                "scatter",
+                "--schemes",
+                "wormhole",
+                "--csv",
+            ]
+        )
+        assert rc == 0
+        assert "bytes,wormhole" in capsys.readouterr().out
+
+    def test_figure5(self, capsys):
+        rc = main(
+            [
+                "--ports",
+                "16",
+                "figure5",
+                "--determinism",
+                "0.9",
+                "--messages",
+                "4",
+            ]
+        )
+        assert rc == 0
+        assert "preload" in capsys.readouterr().out
+
+    def test_ablations_subset(self, capsys):
+        rc = main(["--ports", "16", "ablations", "--only", "a4"])
+        assert rc == 0
+        assert "guard band" in capsys.readouterr().out
+
+    def test_ablations_unknown(self, capsys):
+        rc = main(["--ports", "16", "ablations", "--only", "zz"])
+        assert rc == 2
+
+    def test_multihop(self, capsys):
+        rc = main(["multihop", "--bytes", "256", "--hops", "1,4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Multi-hop" in out and "wormhole" in out
+
+
+class TestLoadLatencyCommand:
+    def test_load_latency(self, capsys):
+        rc = main(
+            [
+                "--ports",
+                "8",
+                "load-latency",
+                "--loads",
+                "0.3",
+                "--duration-ns",
+                "2000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "wormhole" in out
+
+    def test_load_latency_csv(self, capsys):
+        rc = main(
+            ["--ports", "8", "load-latency", "--loads", "0.3",
+             "--duration-ns", "2000", "--csv"]
+        )
+        assert rc == 0
+        assert "load,wormhole" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_quick_report(self, capsys):
+        rc = main(["--ports", "16", "report", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for heading in ("Table 3", "Figure 4", "Figure 5", "load vs latency"):
+            assert heading in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        rc = main(["--ports", "16", "report", "--quick", "--output", str(target)])
+        assert rc == 0
+        assert "Reproduction report" in target.read_text()

@@ -1,0 +1,105 @@
+"""Unit tests for the open-loop Poisson traffic generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.sim.rng import RngStreams
+from repro.traffic.openloop import OpenLoopUniformPattern
+
+
+@pytest.fixture
+def rng():
+    return RngStreams(11)
+
+
+class TestValidation:
+    def test_load_range(self):
+        with pytest.raises(TrafficError):
+            OpenLoopUniformPattern(8, 64, load=0.0, duration_ns=1000)
+        with pytest.raises(TrafficError):
+            OpenLoopUniformPattern(8, 64, load=1.5, duration_ns=1000)
+
+    def test_duration_positive(self):
+        with pytest.raises(TrafficError):
+            OpenLoopUniformPattern(8, 64, load=0.5, duration_ns=0)
+
+    def test_empty_window_rejected(self, rng):
+        # a tiny window at a tiny load produces no messages
+        pattern = OpenLoopUniformPattern(8, 64, load=0.001, duration_ns=1)
+        with pytest.raises(TrafficError):
+            pattern.phases(rng)
+
+
+class TestGeneration:
+    def test_mean_gap(self):
+        p = OpenLoopUniformPattern(8, 64, load=0.5, duration_ns=1000)
+        assert p.mean_gap_ps == 64 * 1250 / 0.5
+
+    def test_injections_within_window(self, rng):
+        pattern = OpenLoopUniformPattern(8, 64, load=0.5, duration_ns=5000)
+        phase = pattern.phases(rng)[0]
+        assert all(0 < m.inject_ps < 5_000_000 for m in phase.messages)
+
+    def test_sorted_by_inject_time(self, rng):
+        phase = OpenLoopUniformPattern(8, 64, load=0.5, duration_ns=5000).phases(rng)[0]
+        times = [m.inject_ps for m in phase.messages]
+        assert times == sorted(times)
+
+    def test_no_self_messages(self, rng):
+        phase = OpenLoopUniformPattern(8, 64, load=0.5, duration_ns=5000).phases(rng)[0]
+        assert all(m.src != m.dst for m in phase.messages)
+
+    def test_rate_matches_load(self, rng):
+        load, duration = 0.5, 50_000
+        pattern = OpenLoopUniformPattern(8, 64, load=load, duration_ns=duration)
+        phase = pattern.phases(rng)[0]
+        offered_bytes = sum(m.size for m in phase.messages)
+        capacity_bytes = 8 * duration * 1000 / 1250  # all links, full window
+        assert offered_bytes / capacity_bytes == pytest.approx(load, rel=0.1)
+
+    def test_reproducible(self):
+        a = OpenLoopUniformPattern(8, 64, load=0.3, duration_ns=5000).phases(
+            RngStreams(3)
+        )[0]
+        b = OpenLoopUniformPattern(8, 64, load=0.3, duration_ns=5000).phases(
+            RngStreams(3)
+        )[0]
+        assert [(m.src, m.dst, m.inject_ps) for m in a.messages] == [
+            (m.src, m.dst, m.inject_ps) for m in b.messages
+        ]
+
+    def test_loads_are_independent_streams(self):
+        a = OpenLoopUniformPattern(8, 64, load=0.3, duration_ns=5000).phases(
+            RngStreams(3)
+        )[0]
+        b = OpenLoopUniformPattern(8, 64, load=0.4, duration_ns=5000).phases(
+            RngStreams(3)
+        )[0]
+        assert len(a.messages) != len(b.messages)
+
+
+class TestEndToEnd:
+    def test_runs_on_tdm(self, rng):
+        from repro.networks.tdm import TdmNetwork
+        from repro.params import PAPER_PARAMS
+
+        params = PAPER_PARAMS.with_overrides(n_ports=8)
+        pattern = OpenLoopUniformPattern(8, 64, load=0.2, duration_ns=3000)
+        phases = pattern.phases(rng)
+        result = TdmNetwork(params, k=2, mode="dynamic").run(phases)
+        assert len(result.records) == len(phases[0].messages)
+
+    def test_load_latency_driver_small(self):
+        from repro.experiments.loadlatency import run_load_latency
+        from repro.params import PAPER_PARAMS
+
+        params = PAPER_PARAMS.with_overrides(n_ports=8)
+        result = run_load_latency(
+            params, loads=(0.2, 0.6), duration_ns=3000.0
+        )
+        assert set(result.series) == {"wormhole", "circuit", "dynamic-tdm"}
+        for series in result.series.values():
+            assert series[1] > series[0]  # latency rises with load
+        assert "load" in result.csv()

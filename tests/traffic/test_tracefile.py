@@ -1,0 +1,96 @@
+"""Unit tests for trace-file parsing, saving, and replay."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.sim.rng import RngStreams
+from repro.traffic.mesh import OrderedMeshPattern
+from repro.traffic.tracefile import TraceFilePattern, parse_trace, save_trace
+
+
+class TestParse:
+    def test_basic(self):
+        text = io.StringIO("0 1 64\n2 3 128 5.5\n")
+        phases = parse_trace(text, 4)
+        assert len(phases) == 1
+        msgs = phases[0].messages
+        assert (msgs[0].src, msgs[0].dst, msgs[0].size) == (0, 1, 64)
+        assert msgs[1].inject_ps == 5500
+
+    def test_phase_markers(self):
+        text = io.StringIO(
+            "# phase warmup\n0 1 64\n# phase main\n1 2 64\n2 3 64\n"
+        )
+        phases = parse_trace(text, 4)
+        assert [p.name for p in phases] == ["warmup", "main"]
+        assert len(phases[1].messages) == 2
+
+    def test_comments_and_blanks_ignored(self):
+        text = io.StringIO("\n# a comment\n0 1 64\n\n")
+        phases = parse_trace(text, 4)
+        assert len(phases[0].messages) == 1
+
+    def test_bad_field_count(self):
+        with pytest.raises(TrafficError, match="line 1"):
+            parse_trace(io.StringIO("0 1\n"), 4)
+
+    def test_bad_number(self):
+        with pytest.raises(TrafficError, match="line 1"):
+            parse_trace(io.StringIO("0 x 64\n"), 4)
+
+    def test_out_of_range_port(self):
+        with pytest.raises(TrafficError, match="out of range"):
+            parse_trace(io.StringIO("0 9 64\n"), 4)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TrafficError):
+            parse_trace(io.StringIO("# nothing\n"), 4)
+
+
+class TestRoundTrip:
+    def test_save_and_reload(self, tmp_path):
+        pattern = OrderedMeshPattern(16, 64, rounds=2)
+        phases = pattern.phases(RngStreams(1))
+        path = tmp_path / "mesh.trace"
+        save_trace(phases, path)
+
+        replay = TraceFilePattern(16, path).phases(RngStreams(0))
+        assert len(replay) == len(phases)
+        assert [(m.src, m.dst, m.size) for p in replay for m in p.messages] == [
+            (m.src, m.dst, m.size) for p in phases for m in p.messages
+        ]
+
+    def test_inject_times_roundtrip(self, tmp_path):
+        from repro.traffic.base import TrafficPhase, assign_seq
+        from repro.types import Message
+
+        phase = TrafficPhase(
+            "t", [Message(src=0, dst=1, size=8, inject_ps=1500)]
+        )
+        assign_seq([phase])
+        path = tmp_path / "t.trace"
+        save_trace([phase], path)
+        replay = TraceFilePattern(4, path).phases(RngStreams(0))
+        assert replay[0].messages[0].inject_ps == 1500
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TrafficError):
+            TraceFilePattern(4, tmp_path / "nope.trace")
+
+    def test_replay_runs_on_network(self, tmp_path):
+        from repro.networks.tdm import TdmNetwork
+        from repro.params import PAPER_PARAMS
+
+        pattern = OrderedMeshPattern(8, 64, rounds=1)
+        phases = pattern.phases(RngStreams(1))
+        path = tmp_path / "m.trace"
+        save_trace(phases, path)
+
+        params = PAPER_PARAMS.with_overrides(n_ports=8)
+        replayed = TraceFilePattern(8, path).phases(RngStreams(0))
+        result = TdmNetwork(params, k=4, mode="dynamic").run(replayed)
+        assert len(result.records) == 8 * 4
