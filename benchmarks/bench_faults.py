@@ -1,0 +1,41 @@
+"""Bench R1 — fault-injection campaigns across the switching schemes.
+
+Sweeps the fault arrival rate against all four schemes at the bench
+system size, each scheme facing the same deterministic storm per rate,
+and archives the degradation series (delivered fraction, effective
+bandwidth, p99 recovery latency).  Asserts the campaign's safety
+invariants: no duplicated deliveries ever, and zero-rate rows lossless.
+"""
+
+from __future__ import annotations
+
+from conftest import archive, bench_params
+
+from repro.experiments.faults import run_faults
+
+PARAMS = bench_params()
+
+RATES = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+
+def test_fault_campaigns(benchmark):
+    result = benchmark.pedantic(
+        run_faults,
+        kwargs=dict(params=PARAMS, rates=RATES),
+        rounds=1,
+        iterations=1,
+    )
+    archive("faults", result.format())
+
+    for point in result.points:
+        # exactly-once delivery: duplicates are a correctness bug, not a
+        # degradation mode
+        assert point.report.duplicated == 0
+        if point.rate_per_us == 0.0:
+            assert point.report.delivered_fraction == 1.0
+            assert point.report.dropped == 0
+    # faults only ever cost bandwidth: every faulted row is no faster
+    # than its scheme's healthy baseline
+    for scheme, series in result.bandwidth.items():
+        for bw in series[1:]:
+            assert bw <= series[0] * 1.0001, (scheme, series)

@@ -9,7 +9,6 @@ orderings at full scale.
 
 from __future__ import annotations
 
-import pytest
 
 from conftest import archive, bench_params
 

@@ -9,7 +9,6 @@ event kernel, and a full small end-to-end run.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.compiled.coloring import decompose
 from repro.experiments.common import measure

@@ -17,7 +17,6 @@ from conftest import archive
 
 from repro.experiments.table3 import format_table3, run_table3
 from repro.hw.synth import PAPER_SIZES
-from repro.params import PAPER_PARAMS
 from repro.sched.presched import compute_l
 from repro.sched.slarray import wavefront_sparse
 

@@ -43,11 +43,13 @@ from .errors import (
 from .experiments import (
     DEFAULT_SEED,
     measure,
+    run_faults,
     run_figure4,
     run_figure5,
     run_table3,
 )
 from .fabric import ConfigMatrix, ConfigRegisterFile, Crossbar
+from .faults import FaultInjector, FaultKind, FaultSchedule, RetryPolicy
 from .networks import (
     CircuitNetwork,
     IdealNetwork,
@@ -79,9 +81,14 @@ __all__ = [
     "TrafficError",
     "DEFAULT_SEED",
     "measure",
+    "run_faults",
     "run_figure4",
     "run_figure5",
     "run_table3",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "RetryPolicy",
     "ConfigMatrix",
     "ConfigRegisterFile",
     "Crossbar",

@@ -6,6 +6,7 @@ Regenerates any paper artifact from the shell::
     python -m repro figure4 --patterns scatter --sizes 8,64,512
     python -m repro figure5 --ports 64
     python -m repro ablations --only a1,a4
+    python -m repro faults --rates 0,1,4 --schemes dynamic-tdm,preload
     python -m repro multihop --bytes 512 --hops 1,2,4,8
 
 ``--ports`` scales the system (the paper uses 128; smaller is faster),
@@ -33,6 +34,7 @@ from .experiments.ablations import (
     ablation_sl_units,
 )
 from .experiments.common import DEFAULT_SEED
+from .experiments.faults import FAULT_RATES, run_faults
 from .experiments.figure4 import MESSAGE_SIZES, run_figure4
 from .experiments.figure5 import DETERMINISM_SWEEP, run_figure5
 from .experiments.loadlatency import LOADS, run_load_latency
@@ -101,6 +103,23 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
     result = run_figure5(
         params=_params(args),
         determinism=determinism,
+        messages_per_node=args.messages,
+        seed=args.seed,
+    )
+    print(result.csv() if args.csv else result.format())
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    rates = (
+        tuple(float(r) for r in _csv_list(args.rates)) if args.rates else FAULT_RATES
+    )
+    schemes = tuple(_csv_list(args.schemes)) if args.schemes else None
+    result = run_faults(
+        params=_params(args),
+        rates=rates,
+        schemes=schemes,
+        size_bytes=args.bytes,
         messages_per_node=args.messages,
         seed=args.seed,
     )
@@ -203,6 +222,14 @@ def build_parser() -> argparse.ArgumentParser:
     f5.add_argument("--messages", type=int, default=64, help="messages per node")
     f5.add_argument("--csv", action="store_true", help="CSV output")
     f5.set_defaults(fn=_cmd_figure5)
+
+    fl = sub.add_parser("faults", help="fault-injection campaigns (rate x scheme)")
+    fl.add_argument("--rates", help="comma-separated faults/us (default sweep)")
+    fl.add_argument("--schemes", help="wormhole,circuit,dynamic-tdm,preload")
+    fl.add_argument("--bytes", type=int, default=512, help="message size")
+    fl.add_argument("--messages", type=int, default=8, help="messages per node")
+    fl.add_argument("--csv", action="store_true", help="CSV output")
+    fl.set_defaults(fn=_cmd_faults)
 
     ab = sub.add_parser("ablations", help="design-choice ablations (a1-a6, a8-a12)")
     ab.add_argument("--only", help="subset, e.g. a1,a4")

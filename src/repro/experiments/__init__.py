@@ -1,6 +1,7 @@
 """Experiment drivers regenerating every table and figure of the paper."""
 
 from .common import DEFAULT_SEED, ExperimentPoint, figure4_schemes, measure
+from .faults import FAULT_RATES, FaultPoint, FaultsResult, run_faults
 from .figure4 import MESSAGE_SIZES, Figure4Result, figure4_patterns, run_figure4
 from .figure5 import DETERMINISM_SWEEP, Figure5Result, run_figure5
 from .loadlatency import LOADS, LoadLatencyResult, run_load_latency
@@ -12,6 +13,10 @@ __all__ = [
     "ExperimentPoint",
     "figure4_schemes",
     "measure",
+    "FAULT_RATES",
+    "FaultPoint",
+    "FaultsResult",
+    "run_faults",
     "MESSAGE_SIZES",
     "Figure4Result",
     "figure4_patterns",

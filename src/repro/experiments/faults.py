@@ -1,0 +1,200 @@
+"""Experiment R1: fault-injection campaigns across the switching schemes.
+
+Sweeps the fault arrival rate against the paper's four schemes and
+reports how each degrades: delivered-message fraction, effective
+bandwidth, and recovery latency.  Three rules keep the comparison honest:
+
+* every scheme at a given rate faces the **same storm** — one
+  :class:`~repro.faults.FaultSchedule` is generated per (seed, rate) and
+  shared across schemes, so a scheme's score reflects its recovery
+  machinery, not luck of the fault draw;
+* the workload is fully static (:class:`~repro.traffic.hybrid.HybridPattern`
+  at determinism 1.0), the one regime all four schemes — including pure
+  preload, which must degrade to dynamic scheduling when faults break its
+  pinned program — can serve;
+* the schedule horizon is sized from the slowest *healthy* makespan, so
+  storms cover whole runs even as faults stretch them.
+
+Schemes differ in their attack surface: wormhole has no request plane or
+config registers, so register/SL faults count as *skipped* against it;
+circuit switching multiplexes one slot, so a quarantine leaves it no spare
+capacity.  The injector's applied/skipped counters make this explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..faults.injector import FaultInjector
+from ..faults.schedule import FaultSchedule
+from ..metrics.degradation import DegradationReport, degradation_report
+from ..metrics.report import format_csv, format_series
+from ..networks.base import BaseNetwork
+from ..networks.circuit import CircuitNetwork
+from ..networks.tdm import TdmNetwork
+from ..networks.wormhole import WormholeNetwork
+from ..params import PAPER_PARAMS, SystemParams
+from ..sim.rng import RngStreams
+from ..traffic.hybrid import HybridPattern
+from .common import DEFAULT_SEED
+
+__all__ = ["FAULT_RATES", "FaultPoint", "FaultsResult", "run_faults"]
+
+#: fault arrival rates swept, in faults per microsecond of simulated time
+FAULT_RATES: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+
+@dataclass(slots=True, frozen=True)
+class FaultPoint:
+    """Outcome of one (scheme, fault-rate) campaign."""
+
+    scheme: str
+    rate_per_us: float
+    report: DegradationReport
+    makespan_ps: int
+    counters: dict[str, int]
+
+
+@dataclass
+class FaultsResult:
+    """Per-scheme degradation series, aligned with ``rates``."""
+
+    rates: tuple[float, ...]
+    delivered: dict[str, list[float]] = field(default_factory=dict)
+    bandwidth: dict[str, list[float]] = field(default_factory=dict)
+    recovery_p99_ns: dict[str, list[float]] = field(default_factory=dict)
+    points: list[FaultPoint] = field(default_factory=list)
+
+    def point(self, scheme: str, rate: float) -> FaultPoint:
+        for p in self.points:
+            if p.scheme == scheme and p.rate_per_us == rate:
+                return p
+        raise KeyError(f"no campaign for {scheme!r} at {rate}/us")
+
+    def format(self) -> str:
+        rates = list(self.rates)
+        return "\n".join(
+            [
+                format_series(
+                    "faults/us", rates, self.delivered,
+                    title="Fault campaigns — delivered message fraction",
+                ),
+                format_series(
+                    "faults/us", rates, self.bandwidth,
+                    title="Fault campaigns — effective bandwidth (B/ns)",
+                ),
+                format_series(
+                    "faults/us", rates, self.recovery_p99_ns,
+                    title="Fault campaigns — p99 recovery latency (ns)",
+                    precision=0,
+                ),
+            ]
+        )
+
+    def csv(self) -> str:
+        columns = {
+            f"{scheme}:{metric}": values[scheme]
+            for metric, values in (
+                ("delivered", self.delivered),
+                ("bw", self.bandwidth),
+            )
+            for scheme in values
+        }
+        return format_csv("faults_per_us", list(self.rates), columns)
+
+
+def _scheme_factories(
+    params: SystemParams, k: int, injection_window: int | None
+) -> dict[str, Callable[[FaultInjector | None], BaseNetwork]]:
+    """Figure-4's four schemes, parameterised by an optional injector."""
+    return {
+        "wormhole": lambda inj: WormholeNetwork(params, faults=inj),
+        "circuit": lambda inj: CircuitNetwork(params, faults=inj),
+        "dynamic-tdm": lambda inj: TdmNetwork(
+            params, k=k, mode="dynamic",
+            injection_window=injection_window, faults=inj,
+        ),
+        "preload": lambda inj: TdmNetwork(
+            params, k=k, mode="preload",
+            injection_window=injection_window, faults=inj,
+        ),
+    }
+
+
+def run_faults(
+    params: SystemParams = PAPER_PARAMS,
+    rates: Sequence[float] = FAULT_RATES,
+    schemes: Sequence[str] | None = None,
+    size_bytes: int = 512,
+    messages_per_node: int = 8,
+    n_static: int = 2,
+    k: int = 4,
+    injection_window: int | None = 4,
+    seed: int = DEFAULT_SEED,
+    max_wall_s: float | None = 300.0,
+) -> FaultsResult:
+    """Run the fault-rate x scheme campaign grid.
+
+    Deterministic end to end: the same (seed, rate, scheme) triple always
+    reproduces bit-identical fault timelines, drops, and metrics.
+    """
+    factories = _scheme_factories(params, k, injection_window)
+    if schemes is not None:
+        unknown = set(schemes) - set(factories)
+        if unknown:
+            raise ValueError(f"unknown schemes {sorted(unknown)}")
+        factories = {name: factories[name] for name in schemes}
+    pattern = HybridPattern(
+        params.n_ports,
+        size_bytes,
+        determinism=1.0,
+        messages_per_node=messages_per_node,
+        n_static=n_static,
+    )
+
+    # healthy baselines first: they are the rate-0 row and they size the
+    # storm horizon (2x the slowest healthy makespan keeps even badly
+    # stretched faulted runs under fire throughout)
+    healthy = {
+        name: make(None).run(pattern.phases(RngStreams(seed)), pattern_name=pattern.name)
+        for name, make in factories.items()
+    }
+    horizon_ps = 2 * max(r.makespan_ps for r in healthy.values())
+
+    result = FaultsResult(rates=tuple(rates))
+    for name in factories:
+        result.delivered[name] = []
+        result.bandwidth[name] = []
+        result.recovery_p99_ns[name] = []
+    for rate in result.rates:
+        schedule = FaultSchedule.generate(
+            seed=seed,
+            rate_per_us=rate,
+            horizon_ps=horizon_ps,
+            n_ports=params.n_ports,
+            k=k,
+        )
+        for name, make in factories.items():
+            if rate == 0.0:
+                run = healthy[name]
+            else:
+                net = make(FaultInjector(schedule))
+                net.max_wall_s = max_wall_s
+                run = net.run(
+                    pattern.phases(RngStreams(seed)), pattern_name=pattern.name
+                )
+            report = degradation_report(run)
+            result.points.append(
+                FaultPoint(
+                    scheme=name,
+                    rate_per_us=rate,
+                    report=report,
+                    makespan_ps=run.makespan_ps,
+                    counters=run.counters,
+                )
+            )
+            result.delivered[name].append(report.delivered_fraction)
+            result.bandwidth[name].append(report.effective_bw_bytes_per_ns)
+            result.recovery_p99_ns[name].append(report.recovery_p99_ns)
+    return result

@@ -1,0 +1,32 @@
+"""Fault injection, detection and recovery for the switching schemes.
+
+The subsystem has three layers, each usable on its own:
+
+* :mod:`repro.faults.model` / :mod:`repro.faults.schedule` — *what* goes
+  wrong and *when*: frozen fault events and deterministic, seeded Poisson
+  timelines (same seed, same storm, across every scheme);
+* :mod:`repro.faults.injector` — *how* faults reach a simulation: one
+  fault armed at a time on the event loop, dispatched through the network
+  models' public ``fault_*`` hooks;
+* :mod:`repro.faults.recovery` — *what the system does about it*:
+  timeout/backoff policy for the NIC watchdogs, management-plane slot
+  remapping, and graceful degradation from preloaded TDM to dynamic
+  scheduling.
+
+See ``docs/faults.md`` for the full fault model and the per-scheme
+recovery semantics.
+"""
+
+from .injector import FaultInjector
+from .model import DEFAULT_WEIGHTS, FaultEvent, FaultKind
+from .recovery import RetryPolicy
+from .schedule import FaultSchedule
+
+__all__ = [
+    "DEFAULT_WEIGHTS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSchedule",
+    "RetryPolicy",
+]

@@ -1,0 +1,74 @@
+"""Recovery policy: NIC-side timeouts with bounded exponential backoff.
+
+The paper's request/grant plane has no acknowledgement protocol — a NIC
+that raises a request simply waits for the circuit to appear in some TDM
+slot.  Under faults that wait can become unbounded (a lost request bit is
+never granted; a dead SL cell can never be toggled), so the recovery layer
+adds the standard distributed-systems remedy: a per-connection watchdog
+that re-raises the request after a timeout, backs off exponentially on
+repeated failures, then escalates to the management plane
+(:meth:`repro.sched.scheduler.Scheduler.mgmt_establish`) and finally gives
+the connection up explicitly, so every injected byte is accounted for.
+
+All of this machinery is armed *only* when a fault campaign is active:
+a run with an empty fault schedule schedules zero watchdog events and is
+bit-identical to a run without the fault subsystem at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sim.clock import ns
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(slots=True, frozen=True)
+class RetryPolicy:
+    """Timeout/backoff parameters for the per-connection watchdogs.
+
+    The default timeout (800 ns) is ~3x the worst-case request-to-first-
+    grant path of the paper's timing model (80 ns request wire + scheduler
+    pass + 80 ns grant wire + up to one full TDM rotation), so a healthy
+    connection essentially never trips it.
+    """
+
+    #: first watchdog check fires this long after the request is raised
+    timeout_ps: int = ns(800)
+    #: multiplicative backoff between successive checks
+    backoff: float = 2.0
+    #: checks spent re-raising the request before escalating
+    max_retries: int = 4
+    #: checks spent asking the management plane for a direct slot placement
+    mgmt_attempts: int = 2
+    #: backoff ceiling — keeps recovery latency bounded
+    max_delay_ps: int = ns(12_800)
+
+    def __post_init__(self) -> None:
+        if self.timeout_ps <= 0:
+            raise ConfigurationError(
+                f"retry timeout must be positive, got {self.timeout_ps} ps"
+            )
+        if self.backoff < 1.0:
+            raise ConfigurationError(
+                f"retry backoff must be >= 1, got {self.backoff}"
+            )
+        if self.max_retries < 0 or self.mgmt_attempts < 0:
+            raise ConfigurationError("retry/mgmt attempt counts must be >= 0")
+
+    @property
+    def total_attempts(self) -> int:
+        """Watchdog checks before the connection is declared unrecoverable."""
+        return self.max_retries + self.mgmt_attempts
+
+    def delay_ps(self, attempt: int) -> int:
+        """Delay before watchdog check number ``attempt`` (0-based).
+
+        Exponential in ``attempt``, capped at :attr:`max_delay_ps`, always
+        an exact integer picosecond count so event ordering stays
+        deterministic.
+        """
+        raw = self.timeout_ps * self.backoff**attempt
+        return min(round(raw), self.max_delay_ps)

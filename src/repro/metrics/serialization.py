@@ -15,7 +15,7 @@ from pathlib import Path
 
 from ..networks.base import PhaseResult, RunResult
 from ..params import SystemParams
-from ..types import MessageRecord
+from ..types import DropRecord, MessageRecord
 
 __all__ = ["save_result", "load_result", "result_to_dict", "result_from_dict"]
 
@@ -34,6 +34,8 @@ def result_to_dict(result: RunResult) -> dict:
         "counters": dict(result.counters),
         "phases": [dataclasses.asdict(p) for p in result.phases],
         "records": [dataclasses.asdict(r) for r in result.records],
+        "drops": [dataclasses.asdict(d) for d in result.drops],
+        "recovery_ps": list(result.recovery_ps),
     }
 
 
@@ -52,6 +54,9 @@ def result_from_dict(data: dict) -> RunResult:
         counters=dict(data["counters"]),
         phases=[PhaseResult(**p) for p in data["phases"]],
         records=[MessageRecord(**r) for r in data["records"]],
+        # fault fields arrived after format 1 shipped; old files omit them
+        drops=[DropRecord(**d) for d in data.get("drops", [])],
+        recovery_ps=list(data.get("recovery_ps", [])),
     )
 
 

@@ -8,14 +8,28 @@ enters the NICs only after phase ``j`` fully drains, as in a
 bulk-synchronous program), byte-conservation accounting, and completion
 bookkeeping.  Subclasses implement :meth:`_execute_phase`, which must run
 the event loop until the injected phase has fully drained.
+
+The base class also hosts the scheme-independent half of the fault model
+(:mod:`repro.faults`): per-port link state, the public ``fault_*`` hooks
+the injector dispatches to, and explicit message drops.  Under faults the
+phase barrier's completion condition becomes *delivered or explicitly
+dropped* — every injected message must end as exactly one
+:class:`~repro.types.MessageRecord` or one
+:class:`~repro.types.DropRecord`, and the ledger still has to balance.
+All fault machinery is inert (and a run bit-identical to the fault-free
+build) unless an injector with a non-empty schedule is attached.
 """
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..errors import SimulationError
+from ..faults.injector import FaultInjector
 from ..nic.flow import FlowLedger
 from ..nic.nic import Nic
 from ..params import SystemParams
@@ -23,13 +37,16 @@ from ..sim.engine import Priority, Simulator
 from ..sim.stats import OnlineStats
 from ..sim.trace import NULL_TRACER, Tracer
 from ..traffic.base import TrafficPhase
-from ..types import MessageRecord
+from ..types import DropRecord, Message, MessageRecord
 
 __all__ = ["PhaseResult", "RunResult", "BaseNetwork"]
 
 #: events per run safety valve (a 128-port millisecond-scale run stays far
 #: below this; hitting it means a scheduling livelock bug)
 MAX_EVENTS_PER_PHASE = 40_000_000
+
+#: environment variable that turns strict invariant checking on globally
+STRICT_ENV_VAR = "REPRO_STRICT"
 
 
 @dataclass(slots=True)
@@ -59,6 +76,10 @@ class RunResult:
     records: list[MessageRecord]
     phases: list[PhaseResult]
     counters: dict[str, int] = field(default_factory=dict)
+    #: messages explicitly given up under faults (empty in healthy runs)
+    drops: list[DropRecord] = field(default_factory=list)
+    #: per-disruption recovery latencies (fault to next transferred byte)
+    recovery_ps: list[int] = field(default_factory=list)
 
     @property
     def throughput_bytes_per_ns(self) -> float:
@@ -66,10 +87,26 @@ class RunResult:
             return 0.0
         return self.total_bytes * 1000.0 / self.makespan_ps
 
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of injected messages that were fully delivered."""
+        total = len(self.records) + len(self.drops)
+        return 1.0 if total == 0 else len(self.records) / total
+
+    @property
+    def delivered_bytes(self) -> int:
+        return sum(r.size for r in self.records)
+
     def latency_stats(self) -> OnlineStats:
         stats = OnlineStats()
         for r in self.records:
             stats.add(r.latency_ps)
+        return stats
+
+    def recovery_stats(self) -> OnlineStats:
+        stats = OnlineStats()
+        for r_ps in self.recovery_ps:
+            stats.add(r_ps)
         return stats
 
     def __repr__(self) -> str:
@@ -85,15 +122,34 @@ class BaseNetwork(ABC):
     #: scheme label used in reports ("wormhole", "circuit", "tdm-dynamic", ...)
     scheme: str = "abstract"
 
-    def __init__(self, params: SystemParams, tracer: Tracer | None = None) -> None:
+    def __init__(
+        self,
+        params: SystemParams,
+        tracer: Tracer | None = None,
+        *,
+        faults: FaultInjector | None = None,
+        strict: bool | None = None,
+        max_wall_s: float | None = None,
+    ) -> None:
         self.params = params
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.fault_injector = faults
+        if strict is None:
+            strict = os.environ.get(STRICT_ENV_VAR, "") not in ("", "0")
+        #: strict mode: re-derive structural invariants at phase boundaries
+        self.strict = bool(strict)
+        #: wall-clock budget per event-loop excursion (None: unlimited)
+        self.max_wall_s = max_wall_s
         # per-run state, created in run()
         self.sim: Simulator = Simulator()
         self.nics: list[Nic] = []
         self.ledger: FlowLedger = FlowLedger(params.n_ports)
         self.records: list[MessageRecord] = []
+        self.drops: list[DropRecord] = []
         self._phase_remaining = 0
+        self._faults_active = False
+        self._link_down = np.zeros(params.n_ports, dtype=bool)
+        self._link_dead = np.zeros(params.n_ports, dtype=bool)
 
     # -- the public entry point -------------------------------------------------
 
@@ -106,18 +162,33 @@ class BaseNetwork(ABC):
         self.nics = [Nic(self.params, p) for p in range(n)]
         self.ledger = FlowLedger(n)
         self.records = []
+        self.drops = []
+        self._link_down = np.zeros(n, dtype=bool)
+        self._link_dead = np.zeros(n, dtype=bool)
+        self._faults_active = (
+            self.fault_injector is not None and self.fault_injector.active
+        )
         self._reset_scheme_state()
+        if self.fault_injector is not None:
+            self.fault_injector.bind(self)
 
         phase_results: list[PhaseResult] = []
         for phase in phases:
             start = self.sim.now
             self._inject(phase)
-            self._execute_phase(phase)
+            if not self.phase_done:
+                # a phase can end at injection only when faults dropped it all
+                self._execute_phase(phase)
             if self._phase_remaining != 0:
                 raise SimulationError(
-                    f"phase {phase.name!r} ended with "
-                    f"{self._phase_remaining} undelivered messages"
+                    f"phase {phase.name!r} ended with {self._phase_remaining} "
+                    f"unfinished messages at sim time {self.sim.now} ps "
+                    f"({self.sim.pending} events still queued)"
                 )
+            if self._faults_active:
+                self._fault_phase_reset()
+            if self.strict:
+                self._check_invariants()
             phase_results.append(
                 PhaseResult(
                     name=phase.name,
@@ -128,6 +199,9 @@ class BaseNetwork(ABC):
                 )
             )
         self.ledger.assert_conserved()
+        recovery = (
+            list(self.fault_injector.recovery_ps) if self._faults_active else []
+        )
         return RunResult(
             scheme=self.scheme,
             pattern=pattern_name or phases[0].name,
@@ -137,6 +211,8 @@ class BaseNetwork(ABC):
             records=list(self.records),
             phases=phase_results,
             counters=self._collect_counters(),
+            drops=list(self.drops),
+            recovery_ps=recovery,
         )
 
     # -- hooks for subclasses ------------------------------------------------------
@@ -149,9 +225,29 @@ class BaseNetwork(ABC):
         """Run the event loop until the injected phase drains."""
 
     def _collect_counters(self) -> dict[str, int]:
-        return {"events": self.sim.events_executed}
+        counters = {"events": self.sim.events_executed}
+        if self._faults_active:
+            assert self.fault_injector is not None
+            counters["messages_dropped"] = len(self.drops)
+            for key, value in sorted(self.fault_injector.counters.as_dict().items()):
+                counters[f"fault_{key}"] = value
+        return counters
+
+    def _check_invariants(self) -> None:
+        """Strict mode: re-derive structural invariants from scratch.
+
+        Called at every phase boundary when :attr:`strict` is set (or the
+        ``REPRO_STRICT=1`` environment variable is present).  Subclasses
+        extend this with their scheduler/register checks.
+        """
+        for nic in self.nics:
+            nic.voqs.check_invariants()
 
     # -- shared plumbing --------------------------------------------------------------
+
+    def _run_event_loop(self) -> None:
+        """One excursion of the event loop with the standard safety valves."""
+        self.sim.run(max_events=MAX_EVENTS_PER_PHASE, max_wall_s=self.max_wall_s)
 
     def _inject(self, phase: TrafficPhase) -> None:
         """Queue a phase's messages into the source NICs.
@@ -174,13 +270,26 @@ class BaseNetwork(ABC):
             msg.inject_ps += now
             self.ledger.offer(msg.src, msg.dst, msg.size)
             if msg.inject_ps <= now:
-                self._accept(msg, at_phase_start=True)
+                self._accept_or_drop(msg, at_phase_start=True)
             else:
                 self.sim.schedule_at(
-                    msg.inject_ps, self._accept, msg, False, priority=Priority.NIC
+                    msg.inject_ps,
+                    self._accept_or_drop,
+                    msg,
+                    False,
+                    priority=Priority.NIC,
                 )
 
-    def _accept(self, msg, at_phase_start: bool) -> None:
+    def _accept_or_drop(self, msg: Message, at_phase_start: bool) -> None:
+        """Admit a message, unless an endpoint's links are already dead."""
+        if self._faults_active and (
+            self._link_dead[msg.src] or self._link_dead[msg.dst]
+        ):
+            self._drop_message(msg, "dead-link")
+            return
+        self._accept(msg, at_phase_start)
+
+    def _accept(self, msg: Message, at_phase_start: bool) -> None:
         """A message arrives at its source NIC (override per scheme)."""
         self.nics[msg.src].enqueue(msg)
 
@@ -195,6 +304,106 @@ class BaseNetwork(ABC):
         self.tracer.record(
             record.done_ps, "deliver", src=record.src, dst=record.dst, size=record.size
         )
+
+    def _drop_message(self, msg: Message, reason: str) -> None:
+        """Explicitly give a message up: account every byte, record the drop.
+
+        Bytes still queued are *dropped* (never transmitted); bytes already
+        sent are written off as *lost in flight*.  The message counts
+        against the phase barrier exactly like a delivery, so a phase under
+        faults completes when every message is delivered or dropped.
+        """
+        sent = msg.size - msg.remaining
+        if msg.remaining:
+            self.ledger.drop(msg.src, msg.dst, msg.remaining)
+        if sent:
+            self.ledger.lose(msg.src, msg.dst, sent)
+        self.drops.append(
+            DropRecord(
+                src=msg.src,
+                dst=msg.dst,
+                size=msg.size,
+                sent_bytes=sent,
+                seq=msg.seq,
+                time_ps=self.sim.now,
+                reason=reason,
+            )
+        )
+        self._phase_remaining -= 1
+        if self._phase_remaining < 0:  # pragma: no cover
+            raise SimulationError("dropped more messages than injected")
+        self.tracer.record(
+            self.sim.now, "drop", src=msg.src, dst=msg.dst, size=msg.size
+        )
+        if self._phase_remaining == 0:
+            self.sim.stop()
+
+    # -- fault hooks (dispatched by repro.faults.FaultInjector) ---------------------
+
+    def _link_ok(self, u: int, v: int) -> bool:
+        """Can connection (u, v) move bytes right now?"""
+        return not (self._link_down[u] or self._link_down[v])
+
+    def fault_link_down(self, port: int, duration_ps: int) -> bool:
+        """A transient outage takes both of ``port``'s links down."""
+        if self._link_down[port]:
+            return False  # already down (dead, or overlapping transient)
+        self._link_down[port] = True
+        self.tracer.record(self.sim.now, "fault-link-down", port=port)
+        self._on_link_down(port)
+        return True
+
+    def fault_link_up(self, port: int) -> None:
+        """A transient outage ends (never fires for dead ports)."""
+        if self._link_dead[port]:
+            return
+        self._link_down[port] = False
+        self.tracer.record(self.sim.now, "fault-link-up", port=port)
+        self._on_link_up(port)
+
+    def fault_link_dead(self, port: int) -> bool:
+        """A permanent failure kills both of ``port``'s links."""
+        if self._link_dead[port]:
+            return False
+        self._link_dead[port] = True
+        self._link_down[port] = True
+        self.tracer.record(self.sim.now, "fault-link-dead", port=port)
+        if self.fault_injector is not None:
+            self.fault_injector.cancel_awaiting_port(port)
+        self._on_link_dead(port)
+        return True
+
+    # scheduler-plane faults only apply to schemes that have a scheduler;
+    # the base network skips them (the injector counts the skip)
+
+    def fault_slot_stuck(self, slot: int) -> bool:
+        return False
+
+    def fault_slot_corrupt(self, slot: int) -> bool:
+        return False
+
+    def fault_slot_quarantine(self, slot: int) -> None:
+        """Detection follow-up for a stuck slot (no-op without a scheduler)."""
+
+    def fault_request_drop(self, u: int, v: int) -> bool:
+        return False
+
+    def fault_sl_dead(self, u: int, v: int) -> bool:
+        return False
+
+    # scheme-specific reactions to link state changes
+
+    def _on_link_down(self, port: int) -> None:
+        """React to a transient outage starting (override per scheme)."""
+
+    def _on_link_up(self, port: int) -> None:
+        """React to a transient outage ending (override per scheme)."""
+
+    def _on_link_dead(self, port: int) -> None:
+        """React to a permanent port death (override per scheme)."""
+
+    def _fault_phase_reset(self) -> None:
+        """Cancel per-phase recovery state at the phase barrier."""
 
     @property
     def phase_done(self) -> bool:

@@ -24,15 +24,17 @@ drops) — the best case the paper's Section 2 analysis describes.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
+from ..faults.injector import FaultInjector
 from ..params import SystemParams
 from ..sched.priority import RotationPolicy, RoundRobinPriority
 from ..sched.scheduler import Scheduler
-from ..sim.engine import Priority
+from ..sim.engine import Event, Priority
 from ..sim.trace import Tracer
 from ..traffic.base import TrafficPhase
 from ..types import Message, MessageRecord
-from .base import MAX_EVENTS_PER_PHASE, BaseNetwork
+from .base import BaseNetwork
 
 __all__ = ["CircuitNetwork"]
 
@@ -40,6 +42,15 @@ __all__ = ["CircuitNetwork"]
 _IDLE = 0
 _WAITING = 1  # request raised, circuit not granted yet
 _SENDING = 2
+
+
+@dataclass(slots=True)
+class _Watch:
+    """Watchdog state for one NIC's head-of-line message under faults."""
+
+    attempts: int
+    seq: int  # the message the watch belongs to (stale checks self-cancel)
+    event: Event
 
 
 class CircuitNetwork(BaseNetwork):
@@ -52,8 +63,13 @@ class CircuitNetwork(BaseNetwork):
         params: SystemParams,
         rotation: RotationPolicy | None = None,
         tracer: Tracer | None = None,
+        faults: FaultInjector | None = None,
+        strict: bool | None = None,
+        max_wall_s: float | None = None,
     ) -> None:
-        super().__init__(params, tracer)
+        super().__init__(
+            params, tracer, faults=faults, strict=strict, max_wall_s=max_wall_s
+        )
         self.rotation_template = rotation
         self.scheduler: Scheduler | None = None
         self._fifo: list[deque[Message]] = []
@@ -72,6 +88,9 @@ class CircuitNetwork(BaseNetwork):
         self._current = [None] * n
         self._clock_started = False
         self.circuits_established = 0
+        # fault recovery state (inert unless a fault campaign is active)
+        self._watches: dict[int, _Watch] = {}
+        self._link_blocked: set[int] = set()
 
     def _accept(self, msg, at_phase_start: bool) -> None:
         """Messages join the source NIC's sequential script on arrival."""
@@ -89,7 +108,7 @@ class CircuitNetwork(BaseNetwork):
             self.sim.schedule(
                 self.params.scheduler_pass_ps, self._sl_tick, priority=Priority.SCHEDULER
             )
-        self.sim.run(max_events=MAX_EVENTS_PER_PHASE)
+        self._run_event_loop()
 
     def _collect_counters(self) -> dict[str, int]:
         out = super()._collect_counters()
@@ -103,10 +122,17 @@ class CircuitNetwork(BaseNetwork):
     def _advance_nic(self, u: int) -> None:
         """Start serving the next queued message at NIC ``u`` (if any)."""
         fifo = self._fifo[u]
-        if not fifo:
-            self._state[u] = _IDLE
-            return
-        msg = fifo.popleft()
+        while True:
+            if not fifo:
+                self._state[u] = _IDLE
+                return
+            msg = fifo.popleft()
+            if self._faults_active and (
+                self._link_dead[u] or self._link_dead[msg.dst]
+            ):
+                self._drop_message(msg, "dead-link")
+                continue
+            break
         self._current[u] = msg
         self._state[u] = _WAITING
         sched = self.scheduler
@@ -123,6 +149,8 @@ class CircuitNetwork(BaseNetwork):
                 msg.dst,
                 priority=Priority.WIRE,
             )
+            if self._faults_active:
+                self._arm_watch(u, msg)
 
     def _request_up(self, u: int, v: int) -> None:
         sched = self.scheduler
@@ -144,6 +172,16 @@ class CircuitNetwork(BaseNetwork):
     def _sl_tick(self) -> None:
         sched = self.scheduler
         assert sched is not None
+        if 0 in sched.registers.quarantined:
+            # the single slot is out of service; only the management plane
+            # (or a message drop) can make progress now
+            if self._phase_remaining > 0 or self.sim.pending > 0:
+                self.sim.schedule(
+                    self.params.scheduler_pass_ps,
+                    self._sl_tick,
+                    priority=Priority.SCHEDULER,
+                )
+            return
         result = sched.sl_pass(0)
         if result.outcome is not None:
             for t in result.outcome.established:
@@ -175,6 +213,32 @@ class CircuitNetwork(BaseNetwork):
         msg = self._current[u]
         assert msg is not None
         params = self.params
+        if self._faults_active and (
+            self._link_down[u] or self._link_down[msg.dst]
+        ):
+            if self._link_dead[u] or self._link_dead[msg.dst]:
+                v = msg.dst
+                self._current[u] = None
+                self._drop_message(msg, "dead-link")
+                self._advance_nic(u)
+                nxt = self._current[u]
+                if nxt is None or nxt.dst != v:
+                    self.sim.schedule(
+                        params.request_wire_ps,
+                        self._request_down,
+                        u,
+                        v,
+                        priority=Priority.WIRE,
+                    )
+                return
+            # transient outage: hold the circuit, resume on link-up
+            self._state[u] = _WAITING
+            self._link_blocked.add(u)
+            return
+        if self._faults_active:
+            self._link_blocked.discard(u)
+            assert self.fault_injector is not None
+            self.fault_injector.note_progress(u, msg.dst)
         self._state[u] = _SENDING
         t = self.sim.now
         tail_ps = t + params.message_bytes_ps(msg.size)
@@ -215,3 +279,247 @@ class CircuitNetwork(BaseNetwork):
         super()._deliver(record)
         if self.phase_done:
             self.sim.stop()
+
+    # -- fault hooks and recovery (repro.faults) ----------------------------------
+
+    def fault_slot_stuck(self, slot: int) -> bool:
+        sched = self.scheduler
+        assert sched is not None
+        regs = sched.registers
+        if not 0 <= slot < sched.k or slot in regs.stuck or slot in regs.quarantined:
+            return False  # circuit switching has k=1: other slots don't exist
+        regs.set_stuck(slot)
+        self.tracer.record(self.sim.now, "fault-slot-stuck", slot=slot)
+        return True
+
+    def fault_slot_corrupt(self, slot: int) -> bool:
+        sched = self.scheduler
+        assert sched is not None
+        regs = sched.registers
+        if not 0 <= slot < sched.k or slot in regs.stuck or slot in regs.quarantined:
+            return False
+        evicted = list(regs[slot].connections())
+        regs.clear_slot(slot)
+        self.tracer.record(self.sim.now, "fault-slot-corrupt", slot=slot)
+        # in-flight transmissions complete; WAITING NICs whose circuit just
+        # evaporated are re-granted by later passes (their request is still up)
+        self._note_disrupted_waiters(evicted)
+        return True
+
+    def fault_slot_quarantine(self, slot: int) -> None:
+        sched = self.scheduler
+        assert sched is not None
+        if not 0 <= slot < sched.k or slot in sched.registers.quarantined:
+            return
+        evicted = sched.quarantine_slot(slot)
+        self.tracer.record(self.sim.now, "fault-slot-quarantine", slot=slot)
+        # with k=1 there is no spare slot to remap into: recovery degrades
+        # to the watchdogs timing out and giving the messages up explicitly
+        self._note_disrupted_waiters(evicted)
+
+    def fault_request_drop(self, u: int, v: int) -> bool:
+        sched = self.scheduler
+        assert sched is not None
+        sched.set_request(u, v, False)
+        self.tracer.record(self.sim.now, "fault-req-drop", src=u, dst=v)
+        msg = self._current[u]
+        if msg is not None and msg.dst == v and self._state[u] == _WAITING:
+            assert self.fault_injector is not None
+            self.fault_injector.note_disrupted(u, v)
+            self._arm_watch(u, msg)
+        return True
+
+    def fault_sl_dead(self, u: int, v: int) -> bool:
+        sched = self.scheduler
+        assert sched is not None
+        sched.kill_cell(u, v)
+        self.tracer.record(self.sim.now, "fault-sl-dead", src=u, dst=v)
+        msg = self._current[u]
+        if msg is not None and msg.dst == v and self._state[u] == _WAITING:
+            assert self.fault_injector is not None
+            self.fault_injector.note_disrupted(u, v)
+            self._arm_watch(u, msg)
+        return True
+
+    def _note_disrupted_waiters(self, evicted: list[tuple[int, int]]) -> None:
+        assert self.fault_injector is not None
+        for u, v in evicted:
+            msg = self._current[u]
+            if msg is not None and msg.dst == v and self._state[u] == _WAITING:
+                self.fault_injector.note_disrupted(u, v)
+                self._arm_watch(u, msg)
+
+    def _on_link_down(self, port: int) -> None:
+        inj = self.fault_injector
+        assert inj is not None
+        for u, msg in enumerate(self._current):
+            if msg is None or self._state[u] == _SENDING:
+                continue  # transmissions in flight complete (convention)
+            if u == port or msg.dst == port:
+                inj.note_disrupted(u, msg.dst)
+
+    def _on_link_dead(self, port: int) -> None:
+        """A port died: drop everything queued through it, advance the NICs."""
+        n = self.params.n_ports
+        sched = self.scheduler
+        assert sched is not None
+        victims: list[Message] = []
+        to_advance: list[int] = []
+        for u in range(n):
+            fifo = self._fifo[u]
+            if u == port:
+                victims.extend(fifo)
+                fifo.clear()
+            else:
+                keep: deque[Message] = deque()
+                for m in fifo:
+                    (victims if m.dst == port else keep).append(m)
+                self._fifo[u] = keep
+            msg = self._current[u]
+            if (
+                msg is not None
+                and self._state[u] != _SENDING
+                and (u == port or msg.dst == port)
+            ):
+                self._current[u] = None
+                self._state[u] = _IDLE
+                self._link_blocked.discard(u)
+                self._disarm_watch(u)
+                victims.append(msg)
+                to_advance.append(u)
+        for m in victims:
+            self._drop_message(m, "dead-link")
+        sched.r_view[port, :] = False
+        sched.r_view[:, port] = False
+        for u in to_advance:
+            self._advance_nic(u)
+
+    def _on_link_up(self, port: int) -> None:
+        """A transient outage ended: resume the NICs it was blocking."""
+        sched = self.scheduler
+        assert sched is not None
+        for u in list(self._link_blocked):
+            msg = self._current[u]
+            if msg is None:
+                self._link_blocked.discard(u)
+                continue
+            if self._link_down[u] or self._link_down[msg.dst]:
+                continue  # still blocked on the other endpoint
+            self._link_blocked.discard(u)
+            if sched.registers.b_star[u, msg.dst]:
+                self._start_transmission(u, reused=True)
+            else:
+                # the circuit was torn down while blocked: request again
+                self.sim.schedule(
+                    self.params.request_wire_ps,
+                    self._request_up,
+                    u,
+                    msg.dst,
+                    priority=Priority.WIRE,
+                )
+                self._arm_watch(u, msg)
+
+    # .. the NIC-side watchdogs
+
+    def _arm_watch(self, u: int, msg: Message) -> None:
+        assert self.fault_injector is not None
+        watch = self._watches.get(u)
+        if watch is not None:
+            if watch.seq == msg.seq:
+                return
+            watch.event.cancel()
+        policy = self.fault_injector.retry
+        event = self.sim.schedule(
+            policy.delay_ps(0), self._watch_fire, u, msg.seq, priority=Priority.NIC
+        )
+        self._watches[u] = _Watch(attempts=0, seq=msg.seq, event=event)
+
+    def _disarm_watch(self, u: int) -> None:
+        watch = self._watches.pop(u, None)
+        if watch is not None:
+            watch.event.cancel()
+
+    def _watch_fire(self, u: int, seq: int) -> None:
+        watch = self._watches.get(u)
+        if watch is None or watch.seq != seq:
+            return
+        msg = self._current[u]
+        if (
+            msg is None
+            or msg.seq != seq
+            or self._state[u] != _WAITING
+            or u in self._link_blocked
+        ):
+            del self._watches[u]  # progressed (or blocked on a link, not a grant)
+            return
+        sched = self.scheduler
+        assert sched is not None and self.fault_injector is not None
+        policy = self.fault_injector.retry
+        attempt = watch.attempts
+        watch.attempts += 1
+        v = msg.dst
+        if attempt < policy.max_retries:
+            self.fault_injector.counters.inc("request_retries")
+            self.sim.schedule(
+                self.params.request_wire_ps,
+                self._request_up,
+                u,
+                v,
+                priority=Priority.WIRE,
+            )
+        elif attempt < policy.total_attempts:
+            self.fault_injector.counters.inc("mgmt_attempts")
+            sched.r_view[u, v] = True  # management refreshes the request latch
+            slot = sched.mgmt_establish(u, v)
+            if slot is not None:
+                self.tracer.record(self.sim.now, "mgmt-remap", src=u, dst=v, slot=slot)
+                del self._watches[u]
+                self.sim.schedule(
+                    self.params.grant_wire_ps,
+                    self._granted,
+                    u,
+                    v,
+                    priority=Priority.WIRE,
+                )
+                return
+        else:
+            del self._watches[u]
+            self._give_up_connection(u, v)
+            return
+        watch.event = self.sim.schedule(
+            policy.delay_ps(watch.attempts),
+            self._watch_fire,
+            u,
+            seq,
+            priority=Priority.NIC,
+        )
+
+    def _give_up_connection(self, u: int, v: int) -> None:
+        """Recovery failed: drop the head message and everything else to v."""
+        sched = self.scheduler
+        assert sched is not None and self.fault_injector is not None
+        self.fault_injector.cancel_awaiting(u, v)
+        self.fault_injector.counters.inc("unrecoverable_connections")
+        msg = self._current[u]
+        assert msg is not None and msg.dst == v
+        self._current[u] = None
+        self._state[u] = _IDLE
+        victims: list[Message] = [msg]
+        keep: deque[Message] = deque()
+        for m in self._fifo[u]:
+            (victims if m.dst == v else keep).append(m)
+        self._fifo[u] = keep
+        for m in victims:
+            self._drop_message(m, "unrecoverable")
+        sched.r_view[u, v] = False
+        self._advance_nic(u)
+
+    def _fault_phase_reset(self) -> None:
+        for watch in self._watches.values():
+            watch.event.cancel()
+        self._watches.clear()
+
+    def _check_invariants(self) -> None:
+        super()._check_invariants()
+        if self.scheduler is not None:
+            self.scheduler.registers.check_invariants()

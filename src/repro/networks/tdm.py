@@ -33,12 +33,14 @@ amortisation is the point of the paper.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..compiled.directives import PreloadProgram
 from ..compiled.patterns import StaticPattern
 from ..errors import ConfigurationError, SchedulingError
+from ..faults.injector import FaultInjector
 from ..fabric.crossbar import Crossbar
 from ..fabric.timing import FabricTiming
 from ..params import SystemParams
@@ -49,15 +51,23 @@ from ..sched.multislot import QueueDepthBoostPolicy
 from ..sched.multiunit import MultiUnitScheduler
 from ..sched.priority import RotationPolicy, RoundRobinPriority
 from ..sched.scheduler import Scheduler
-from ..sim.engine import Priority
+from ..sim.engine import Event, Priority
 from ..sim.trace import Tracer
 from ..traffic.base import TrafficPhase
-from ..types import Connection, MessageRecord
-from .base import MAX_EVENTS_PER_PHASE, BaseNetwork
+from ..types import Connection, Message, MessageRecord
+from .base import BaseNetwork
 
 __all__ = ["TdmNetwork"]
 
 _MODES = ("dynamic", "preload", "hybrid")
+
+
+@dataclass(slots=True)
+class _Watch:
+    """NIC-side watchdog state for one connection under fault recovery."""
+
+    attempts: int
+    event: Event
 
 
 class TdmNetwork(BaseNetwork):
@@ -80,8 +90,13 @@ class TdmNetwork(BaseNetwork):
         skip_idle_slots: bool = True,
         prefetcher: MarkovPrefetcher | None = None,
         fabric_constraint: FabricConstraint | None = None,
+        faults: FaultInjector | None = None,
+        strict: bool | None = None,
+        max_wall_s: float | None = None,
     ) -> None:
-        super().__init__(params, tracer)
+        super().__init__(
+            params, tracer, faults=faults, strict=strict, max_wall_s=max_wall_s
+        )
         if mode not in _MODES:
             raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
         if k < 1:
@@ -186,6 +201,9 @@ class TdmNetwork(BaseNetwork):
         self._conn_ready = np.zeros(
             (self.params.n_ports, self.params.n_ports), dtype=np.int64
         )
+        # fault recovery state (inert unless a fault campaign is active)
+        self._degraded = False
+        self._watches: dict[Connection, _Watch] = {}
 
     def _inject(self, phase: TrafficPhase) -> None:
         """Inject a phase, honouring the per-NIC injection window.
@@ -244,6 +262,8 @@ class TdmNetwork(BaseNetwork):
         assert sched is not None
         if self.nics[u].voqs.bytes_pending[v] > 0:
             sched.r_view[u, v] = True
+            if self._faults_active and not sched.established_anywhere(u, v):
+                self._arm_watch(u, v)
 
     def _accept(self, msg, at_phase_start: bool) -> None:
         """A message arrives mid-phase: raise its request after the wire."""
@@ -264,9 +284,9 @@ class TdmNetwork(BaseNetwork):
             sched.flush()
             self.predictor.on_flush(self.sim.now)
 
-        if self.k_preload > 0:
+        if self.k_preload > 0 and not self._degraded:
             self._compile_phase_program(phase)
-        else:
+        elif not self._degraded:
             self._program = None
 
         # the request wires settle request_wire_ps after injection
@@ -281,10 +301,12 @@ class TdmNetwork(BaseNetwork):
             self.sim.schedule(
                 self.params.scheduler_pass_ps, self._sl_tick, priority=Priority.SCHEDULER
             )
-        self.sim.run(max_events=MAX_EVENTS_PER_PHASE)
+        self._run_event_loop()
         if self._phase_remaining != 0:  # pragma: no cover - debugging aid
             raise SchedulingError(
-                f"TDM run stalled with {self._phase_remaining} messages pending"
+                f"TDM run stalled with {self._phase_remaining} messages pending "
+                f"at sim time {self.sim.now} ps "
+                f"({self.sim.pending} events still queued)"
             )
 
     def _collect_counters(self) -> dict[str, int]:
@@ -335,15 +357,18 @@ class TdmNetwork(BaseNetwork):
             self._load_batch(self._batch_idx, self._program_gen)
             if self.mode == "preload" and phase.dynamic_conns():
                 raise SchedulingError(
-                    "pure preload mode cannot serve statically-unknown traffic; "
-                    "use hybrid mode"
+                    f"pure preload mode cannot serve statically-unknown "
+                    f"traffic in phase {phase.name!r}: "
+                    f"{len(phase.dynamic_conns())} dynamic connections "
+                    f"(e.g. {sorted(phase.dynamic_conns())[0]}); use hybrid mode"
                 )
             return
         static = StaticPattern(self.params.n_ports, phase.static_conns)
         if len(static) == 0:
             if self.mode == "preload" and phase.messages:
                 raise SchedulingError(
-                    "pure preload mode cannot serve a phase with no static "
+                    f"pure preload mode cannot serve phase {phase.name!r}: "
+                    f"{len(phase.messages)} messages but no static "
                     "communication information; use hybrid or dynamic mode"
                 )
             # a phase with nothing to preload: hand any previously pinned
@@ -360,8 +385,9 @@ class TdmNetwork(BaseNetwork):
         self._load_batch(self._batch_idx, self._program_gen)
         if self.mode == "preload" and phase.dynamic_conns():
             raise SchedulingError(
-                "pure preload mode cannot serve statically-unknown traffic; "
-                "use hybrid mode"
+                f"pure preload mode cannot serve statically-unknown traffic "
+                f"in phase {phase.name!r}: {len(phase.dynamic_conns())} "
+                f"dynamic connections; use hybrid mode"
             )
 
     def _load_batch(self, index: int, generation: int) -> None:
@@ -384,10 +410,13 @@ class TdmNetwork(BaseNetwork):
                 self._conn_ready[u, v] = max(self._conn_ready[u, v], ready)
         # bytes still to transmit on this batch's connections: offered minus
         # sent covers queued, scripted (windowed), and future-injected alike
-        # (earlier phases are fully sent by the phase barrier)
+        # (earlier phases are fully sent by the phase barrier); bytes already
+        # dropped under faults will never be transmitted either
         self._batch_remaining = int(
             sum(
-                self.ledger.offered[u, v] - self.ledger.sent[u, v]
+                self.ledger.offered[u, v]
+                - self.ledger.sent[u, v]
+                - self.ledger.dropped[u, v]
                 for u, v in self._batch_conns
             )
         )
@@ -427,6 +456,13 @@ class TdmNetwork(BaseNetwork):
         assert sched is not None
         for nic in self.nics:
             sched.r_view[nic.port, :] = nic.voqs.request_vector()
+        if self._faults_active:
+            # blanket watchdog coverage: every pending connection gets a
+            # NIC-side timeout so no fault can stall the phase unnoticed
+            for u, row in enumerate(sched.r_view):
+                for v in np.nonzero(row)[0].tolist():
+                    if not sched.established_anywhere(u, v):
+                        self._arm_watch(u, v)
 
     def _request_drop(self, u: int, v: int, hold: bool) -> None:
         """A queue-empty edge arrived at the scheduler."""
@@ -465,11 +501,14 @@ class TdmNetwork(BaseNetwork):
         byte_ps = params.byte_ps
         conn_ready = self._conn_ready
         assert conn_ready is not None
+        faults_active = self._faults_active
         for u, v in cfg.connections():
             nic = self.nics[u]
             self._slot_opportunities += 1
             if conn_ready[u, v] > t:
                 continue  # the NIC has not seen this grant yet
+            if faults_active and (self._link_down[u] or self._link_down[v]):
+                continue  # an endpoint's links are out — no data this slot
             if nic.voqs.bytes_pending[v] <= 0:
                 continue
             moved, done = nic.voqs.drain(v, slot_bytes, t, byte_ps)
@@ -477,6 +516,9 @@ class TdmNetwork(BaseNetwork):
                 continue
             self._slot_transfers += 1
             self.ledger.send(u, v, moved)
+            if faults_active:
+                assert self.fault_injector is not None
+                self.fault_injector.note_progress(u, v)
             self.predictor.on_use(u, v, t)
             if (u, v) in self._batch_conns:
                 self._batch_remaining -= moved
@@ -548,6 +590,272 @@ class TdmNetwork(BaseNetwork):
             self.sim.schedule(
                 self.params.scheduler_pass_ps, self._sl_tick, priority=Priority.SCHEDULER
             )
+
+    # -- fault hooks and recovery (repro.faults) --------------------------------------------------
+
+    def fault_slot_stuck(self, slot: int) -> bool:
+        sched = self.scheduler
+        assert sched is not None
+        regs = sched.registers
+        if not 0 <= slot < sched.k or slot in regs.stuck or slot in regs.quarantined:
+            return False
+        regs.set_stuck(slot)
+        self.tracer.record(self.sim.now, "fault-slot-stuck", slot=slot)
+        return True
+
+    def fault_slot_corrupt(self, slot: int) -> bool:
+        sched = self.scheduler
+        assert sched is not None
+        regs = sched.registers
+        if not 0 <= slot < sched.k or slot in regs.stuck or slot in regs.quarantined:
+            return False
+        evicted = list(regs[slot].connections())
+        was_pinned = slot in regs.pinned
+        regs.clear_slot(slot)
+        self.tracer.record(self.sim.now, "fault-slot-corrupt", slot=slot)
+        if was_pinned:
+            self._degrade_to_dynamic()
+        self._note_evicted(evicted)
+        return True
+
+    def fault_slot_quarantine(self, slot: int) -> None:
+        """Detection follow-up: take a stuck slot out of service."""
+        sched = self.scheduler
+        assert sched is not None
+        regs = sched.registers
+        if not 0 <= slot < sched.k or slot in regs.quarantined:
+            return
+        was_pinned = slot in regs.pinned
+        evicted = sched.quarantine_slot(slot)
+        self.tracer.record(self.sim.now, "fault-slot-quarantine", slot=slot)
+        if was_pinned:
+            self._degrade_to_dynamic()
+        self._note_evicted(evicted)
+
+    def fault_request_drop(self, u: int, v: int) -> bool:
+        sched = self.scheduler
+        assert sched is not None
+        sched.set_request(u, v, False)
+        self.tracer.record(self.sim.now, "fault-req-drop", src=u, dst=v)
+        if self.nics[u].voqs.bytes_pending[v] > 0:
+            assert self.fault_injector is not None
+            self.fault_injector.note_disrupted(u, v)
+            self._arm_watch(u, v)
+        return True
+
+    def fault_sl_dead(self, u: int, v: int) -> bool:
+        sched = self.scheduler
+        assert sched is not None
+        sched.kill_cell(u, v)
+        self.tracer.record(self.sim.now, "fault-sl-dead", src=u, dst=v)
+        if (
+            self.nics[u].voqs.bytes_pending[v] > 0
+            and not sched.established_anywhere(u, v)
+        ):
+            assert self.fault_injector is not None
+            self.fault_injector.note_disrupted(u, v)
+            self._arm_watch(u, v)
+        return True
+
+    def _note_evicted(self, evicted: list[Connection]) -> None:
+        """Connections lost their slot; watch the ones with pending traffic."""
+        assert self.fault_injector is not None
+        for u, v in evicted:
+            if self.nics[u].voqs.bytes_pending[v] > 0:
+                self.fault_injector.note_disrupted(u, v)
+                self._arm_watch(u, v)
+
+    def _on_link_down(self, port: int) -> None:
+        """A transient outage: open recovery windows for affected traffic."""
+        inj = self.fault_injector
+        assert inj is not None
+        pending = self.nics[port].voqs.bytes_pending
+        for v in np.nonzero(pending > 0)[0].tolist():
+            inj.note_disrupted(port, v)
+        for nic in self.nics:
+            if nic.port != port and nic.voqs.bytes_pending[port] > 0:
+                inj.note_disrupted(nic.port, port)
+
+    def _on_link_dead(self, port: int) -> None:
+        """A port died for good: give up every message it touches.
+
+        Transfers already scheduled for delivery complete (bytes in flight
+        reach memory); everything still queued — in VOQs or in the
+        windowed-injection scripts — to or from the port is explicitly
+        dropped, its request and latch state cleared, and the predictor
+        told to forget the port's connections.
+        """
+        n = self.params.n_ports
+        sched = self.scheduler
+        assert sched is not None
+        freed = [0] * n
+        victims: list[Message] = []
+        for nic in self.nics:
+            removed = nic.voqs.purge() if nic.port == port else nic.voqs.purge(port)
+            freed[nic.port] += len(removed)
+            victims.extend(removed)
+        if self._scripts:
+            assert self._script_bytes is not None
+            for u in range(n):
+                script = self._scripts[u]
+                if not script:
+                    continue
+                keep: deque = deque()
+                for m in script:
+                    if u == port or m.dst == port:
+                        self._script_bytes[u, m.dst] -= m.size
+                        victims.append(m)
+                    else:
+                        keep.append(m)
+                self._scripts[u] = keep
+        for m in victims:
+            self._drop_message(m, "dead-link")
+        sched.r_view[port, :] = False
+        sched.r_view[:, port] = False
+        sched.latched[port, :] = False
+        sched.latched[:, port] = False
+        self.predictor.on_fault(port, self.sim.now)
+        for conn in [c for c in self._watches if port in c]:
+            self._watches.pop(conn).event.cancel()
+        if self._scripts:
+            # queued messages the purge removed freed injection-window slots
+            for u in range(n):
+                if u != port:
+                    for _ in range(freed[u]):
+                        self._feed_nic(u)
+
+    def _degrade_to_dynamic(self) -> None:
+        """Graceful degradation: abandon the preload program.
+
+        A fault took out a pinned (preloaded) slot, so the compiled
+        communication contract is broken.  The network abandons the
+        program, hands every remaining pinned register back to the dynamic
+        scheduler (keeping their current contents as ordinary dynamic
+        configurations), and serves the rest of the run with dynamic
+        scheduling only.
+        """
+        if self._degraded:
+            return
+        self._degraded = True
+        self._program_gen += 1  # invalidate in-flight batch-load events
+        self._program = None
+        self._batch_conns = set()
+        self._batch_remaining = 0
+        self._batch_loading = False
+        assert self.scheduler is not None
+        regs = self.scheduler.registers
+        for slot in list(regs.pinned):
+            regs.unpin(slot)
+        assert self.fault_injector is not None
+        self.fault_injector.counters.inc("degraded_to_dynamic")
+        self.tracer.record(self.sim.now, "degrade-to-dynamic")
+
+    # .. the NIC-side watchdogs
+
+    def _arm_watch(self, u: int, v: int) -> None:
+        """Start (or keep) a per-connection timeout with bounded retries."""
+        if (u, v) in self._watches or self._link_dead[u] or self._link_dead[v]:
+            return
+        assert self.fault_injector is not None
+        policy = self.fault_injector.retry
+        event = self.sim.schedule(
+            policy.delay_ps(0), self._watch_fire, u, v, priority=Priority.NIC
+        )
+        self._watches[(u, v)] = _Watch(attempts=0, event=event)
+
+    def _watch_fire(self, u: int, v: int) -> None:
+        watch = self._watches.get((u, v))
+        if watch is None:
+            return
+        sched = self.scheduler
+        assert sched is not None and self.fault_injector is not None
+        if self.nics[u].voqs.bytes_pending[v] <= 0:
+            del self._watches[(u, v)]  # drained (or dropped) — nothing to recover
+            return
+        if sched.established_anywhere(u, v) and sched.r_view[u, v]:
+            del self._watches[(u, v)]  # healthy again; transfers will flow
+            return
+        policy = self.fault_injector.retry
+        attempt = watch.attempts
+        watch.attempts += 1
+        if attempt < policy.max_retries:
+            # re-raise the request line and back off
+            self.fault_injector.counters.inc("request_retries")
+            self.sim.schedule(
+                self.params.request_wire_ps,
+                self._request_rise,
+                u,
+                v,
+                priority=Priority.WIRE,
+            )
+        elif attempt < policy.total_attempts:
+            # escalate: ask the management plane for a direct slot placement
+            self.fault_injector.counters.inc("mgmt_attempts")
+            sched.r_view[u, v] = True  # management refreshes the request latch
+            slot = sched.mgmt_establish(u, v)
+            if slot is not None:
+                assert self._conn_ready is not None
+                ready = self.sim.now + self.params.grant_wire_ps
+                self._conn_ready[u, v] = max(self._conn_ready[u, v], ready)
+                self.tracer.record(
+                    self.sim.now, "mgmt-remap", src=u, dst=v, slot=slot
+                )
+                del self._watches[(u, v)]
+                return
+        else:
+            # retry budget exhausted and no healthy slot: give the connection up
+            del self._watches[(u, v)]
+            self._give_up_connection(u, v)
+            return
+        watch.event = self.sim.schedule(
+            policy.delay_ps(watch.attempts), self._watch_fire, u, v, priority=Priority.NIC
+        )
+
+    def _give_up_connection(self, u: int, v: int) -> None:
+        """Recovery failed: explicitly drop everything queued on (u, v)."""
+        sched = self.scheduler
+        assert sched is not None and self.fault_injector is not None
+        self.fault_injector.cancel_awaiting(u, v)
+        self.fault_injector.counters.inc("unrecoverable_connections")
+        removed = self.nics[u].voqs.purge(v)
+        victims: list[Message] = list(removed)
+        if self._scripts:
+            assert self._script_bytes is not None
+            script = self._scripts[u]
+            keep: deque = deque()
+            for m in script:
+                if m.dst == v:
+                    self._script_bytes[u, v] -= m.size
+                    victims.append(m)
+                else:
+                    keep.append(m)
+            self._scripts[u] = keep
+        for m in victims:
+            self._drop_message(m, "unrecoverable")
+        sched.r_view[u, v] = False
+        sched.latched[u, v] = False
+        if self._scripts:
+            for _ in range(len(removed)):
+                self._feed_nic(u)
+
+    def _fault_phase_reset(self) -> None:
+        """Phase barrier: stale watchdogs must not leak into the next phase."""
+        for watch in self._watches.values():
+            watch.event.cancel()
+        self._watches.clear()
+
+    def _drop_message(self, msg: Message, reason: str) -> None:
+        if (msg.src, msg.dst) in self._batch_conns:
+            # the batch will never see these bytes transmitted
+            self._batch_remaining -= msg.remaining
+        super()._drop_message(msg, reason)
+        if self._batch_conns:
+            self._maybe_advance_batch()
+
+    def _check_invariants(self) -> None:
+        super()._check_invariants()
+        if self.scheduler is not None:
+            self.scheduler.registers.check_invariants()
 
     # -- delivery hook ---------------------------------------------------------------------------
 

@@ -26,12 +26,13 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from ..faults.injector import FaultInjector
 from ..params import SystemParams
 from ..sim.engine import Priority
 from ..sim.trace import Tracer
 from ..traffic.base import TrafficPhase
 from ..types import Message, MessageRecord
-from .base import MAX_EVENTS_PER_PHASE, BaseNetwork
+from .base import BaseNetwork
 
 __all__ = ["WormholeNetwork"]
 
@@ -63,12 +64,24 @@ class WormholeNetwork(BaseNetwork):
 
     scheme = "wormhole"
 
-    def __init__(self, params: SystemParams, tracer: Tracer | None = None) -> None:
-        super().__init__(params, tracer)
+    def __init__(
+        self,
+        params: SystemParams,
+        tracer: Tracer | None = None,
+        faults: FaultInjector | None = None,
+        strict: bool | None = None,
+        max_wall_s: float | None = None,
+    ) -> None:
+        super().__init__(
+            params, tracer, faults=faults, strict=strict, max_wall_s=max_wall_s
+        )
         self._fifo: list[deque[Message]] = []
         self._nic_busy: list[bool] = []
         self._ports: list[_OutputPort] = []
         self._msg_start: dict[int, int] = {}  # id(message) -> first-flit time
+        self._granted_bytes: dict[int, int] = {}  # id(message) -> bytes granted
+        self._dropped_partial: list[Message] = []
+        self._written_off: set[int] = set()
         self.worms_sent = 0
         self.worm_blocks = 0
 
@@ -78,6 +91,9 @@ class WormholeNetwork(BaseNetwork):
         self._nic_busy = [False] * n
         self._ports = [_OutputPort() for _ in range(n)]
         self._msg_start = {}
+        self._granted_bytes = {}
+        self._dropped_partial = []
+        self._written_off = set()
         self.worms_sent = 0
         self.worm_blocks = 0
 
@@ -91,7 +107,7 @@ class WormholeNetwork(BaseNetwork):
         for u in range(self.params.n_ports):
             if not self._nic_busy[u] and self._fifo[u]:
                 self._launch_next(u)
-        self.sim.run(max_events=MAX_EVENTS_PER_PHASE)
+        self._run_event_loop()
 
     def _collect_counters(self) -> dict[str, int]:
         out = super()._collect_counters()
@@ -104,6 +120,12 @@ class WormholeNetwork(BaseNetwork):
     def _launch_next(self, u: int) -> None:
         """Start serialising the next worm from NIC ``u``, if any."""
         fifo = self._fifo[u]
+        if self._faults_active and self._link_down[u]:
+            # the source's serial link is out: pause the serialiser; a
+            # transient outage resumes it in _on_link_up, a dead link will
+            # already have purged the queue
+            self._nic_busy[u] = False
+            return
         if not fifo:
             self._nic_busy[u] = False
             return
@@ -130,6 +152,20 @@ class WormholeNetwork(BaseNetwork):
 
     def _head_arrived(self, worm: _Worm) -> None:
         port = self._ports[worm.msg.dst]
+        if (
+            self._faults_active
+            and not port.busy
+            and self._link_down[worm.msg.dst]
+            and not self._link_dead[worm.msg.dst]
+        ):
+            # transient output-link outage: worms queue at the switch until
+            # the link returns (dead links instead drain what is in flight)
+            self.worm_blocks += 1
+            port.waiting.append(worm)
+            self.tracer.record(
+                self.sim.now, "worm-blocked", src=worm.msg.src, dst=worm.msg.dst
+            )
+            return
         if port.busy:
             self.worm_blocks += 1
             port.waiting.append(worm)
@@ -164,7 +200,21 @@ class WormholeNetwork(BaseNetwork):
         src_free_ps = max(
             worm.launch_ps, t - params.wormhole_head_path_ps
         ) + body_ps
-        self.ledger.send(u, v, worm.size)
+        if self._faults_active and id(worm.msg) in self._written_off:
+            # the message was dropped mid-flight and this worm's bytes were
+            # already settled at the phase boundary — do not post them twice
+            pass
+        else:
+            self.ledger.send(u, v, worm.size)
+            if self._faults_active:
+                assert self.fault_injector is not None
+                self.fault_injector.note_progress(u, v)
+                if worm.is_last:
+                    self._granted_bytes.pop(id(worm.msg), None)
+                else:
+                    self._granted_bytes[id(worm.msg)] = (
+                        self._granted_bytes.get(id(worm.msg), 0) + worm.size
+                    )
         self.sim.schedule_at(
             port_free_ps, self._port_freed, v, priority=Priority.TRANSFER
         )
@@ -189,6 +239,12 @@ class WormholeNetwork(BaseNetwork):
     def _port_freed(self, v: int) -> None:
         port = self._ports[v]
         port.busy = False
+        if (
+            self._faults_active
+            and self._link_down[v]
+            and not self._link_dead[v]
+        ):
+            return  # transient outage: waiting worms resume on link-up
         if port.waiting:
             self._arbitrate(port, port.waiting.popleft())
 
@@ -199,3 +255,80 @@ class WormholeNetwork(BaseNetwork):
         super()._deliver(record)
         if self.phase_done:
             self.sim.stop()
+
+    def _drop_message(self, msg: Message, reason: str) -> None:
+        super()._drop_message(msg, reason)
+        if msg.remaining != msg.size:
+            # launched worms may still be between events; their send
+            # accounting settles at the phase boundary if they never grant
+            self._dropped_partial.append(msg)
+
+    def _fault_phase_reset(self) -> None:
+        """Settle the dead letters before the ledger's phase-boundary audit.
+
+        A dropped message's launched-but-ungranted worms can be stranded —
+        queued at a transiently-down port whose link-up lies beyond the
+        phase's end, or mid-flight when the final drop completed the phase.
+        The drop already wrote those bytes off as lost; post the matching
+        ``send`` here and mark the message so a leftover grant event firing
+        in a later phase cannot post it twice.
+        """
+        for msg in self._dropped_partial:
+            launched = msg.size - msg.remaining
+            unposted = launched - self._granted_bytes.pop(id(msg), 0)
+            if unposted > 0:
+                self.ledger.send(msg.src, msg.dst, unposted)
+            self._written_off.add(id(msg))
+        self._dropped_partial.clear()
+
+    # -- fault hooks (repro.faults) -----------------------------------------------
+    #
+    # Wormhole routing has no request plane, no configuration registers and
+    # no SL array, so only link faults apply; the injector counts the
+    # scheduler-plane faults as skipped via the BaseNetwork defaults.
+
+    def _on_link_down(self, port: int) -> None:
+        """Open recovery windows for the head-of-line traffic the cut stalls."""
+        inj = self.fault_injector
+        assert inj is not None
+        if self._fifo[port]:
+            inj.note_disrupted(port, self._fifo[port][0].dst)
+        for u in range(self.params.n_ports):
+            if u != port and self._fifo[u] and self._fifo[u][0].dst == port:
+                inj.note_disrupted(u, port)
+
+    def _on_link_up(self, port: int) -> None:
+        """Resume the paused serialiser and the queued output worms."""
+        if self._fifo[port] and not self._nic_busy[port]:
+            self._launch_next(port)
+        out = self._ports[port]
+        if not out.busy and out.waiting:
+            self._arbitrate(out, out.waiting.popleft())
+
+    def _on_link_dead(self, port: int) -> None:
+        """A port died for good: drop everything still queued through it.
+
+        Worms already committed to the fabric drain and deliver (in-flight
+        data completes after a cut); messages with untransmitted bytes are
+        explicitly dropped — their already-launched worms are written off
+        as lost in flight by the ledger.
+        """
+        n = self.params.n_ports
+        victims: list[Message] = []
+        for u in range(n):
+            fifo = self._fifo[u]
+            if u == port:
+                victims.extend(fifo)
+                fifo.clear()
+            else:
+                keep: deque[Message] = deque()
+                for m in fifo:
+                    (victims if m.dst == port else keep).append(m)
+                self._fifo[u] = keep
+        for m in victims:
+            self._drop_message(m, "dead-link")
+        # a transient outage may have paused this output port's queue; the
+        # death supersedes it, and the in-flight worms must still drain
+        out = self._ports[port]
+        if not out.busy and out.waiting:
+            self._arbitrate(out, out.waiting.popleft())

@@ -117,6 +117,31 @@ class VirtualOutputQueues:
             raise InvariantError("queue byte accounting went negative")
         return moved, done
 
+    def purge(self, dst: int | None = None) -> list[Message]:
+        """Remove every queued message (for ``dst``, or all destinations).
+
+        Fault recovery uses this when a link dies: the messages can never
+        be transmitted, so they leave the queues and are accounted as
+        explicit drops by the caller.  Returns the removed messages (some
+        may be partially transmitted — ``remaining < size``); byte counters
+        and in-progress start times are cleaned up.
+        """
+        targets = range(self.n) if dst is None else (dst,)
+        removed: list[Message] = []
+        for v in targets:
+            q = self._queues[v]
+            while q:
+                msg = q.popleft()
+                self.bytes_pending[v] -= msg.remaining
+                self._starts.pop(id(msg), None)
+                removed.append(msg)
+            if self.bytes_pending[v] != 0:  # pragma: no cover - defensive
+                raise InvariantError(
+                    f"queue ({self.src}->{v}) byte counter "
+                    f"{self.bytes_pending[v]} nonzero after purge"
+                )
+        return removed
+
     @property
     def total_pending(self) -> int:
         return int(self.bytes_pending.sum())

@@ -48,6 +48,14 @@ class Predictor(ABC):
     def on_flush(self, t_ps: int) -> None:
         """A flush directive: forget all state (default implementation)."""
 
+    def on_fault(self, port: int, t_ps: int) -> None:
+        """A port's links died: evict every latch decision involving it.
+
+        Fault-aware eviction keeps predictors from holding connections to
+        a dead port cached (they can never carry data again).  The default
+        is a no-op — stateless predictors have nothing to evict.
+        """
+
     def stats(self) -> dict[str, int]:
         """Optional counters for reports."""
         return {}

@@ -30,6 +30,7 @@ class TimeoutPredictor(Predictor):
         self._deadlines: dict[Connection, int] = {}
         self.evictions = 0
         self.holds = 0
+        self.fault_evictions = 0
 
     def on_use(self, u: int, v: int, t_ps: int) -> None:
         conn = Connection(u, v)
@@ -55,9 +56,17 @@ class TimeoutPredictor(Predictor):
         """Stop tracking (the connection was re-requested or released)."""
         self._deadlines.pop(Connection(u, v), None)
 
+    def on_fault(self, port: int, t_ps: int) -> None:
+        """Fault-aware eviction: drop every deadline touching a dead port."""
+        victims = [c for c in self._deadlines if port in c]
+        for c in victims:
+            del self._deadlines[c]
+        self.fault_evictions += len(victims)
+
     def stats(self) -> dict[str, int]:
         return {
             "holds": self.holds,
             "evictions": self.evictions,
+            "fault_evictions": self.fault_evictions,
             "latched": len(self._deadlines),
         }

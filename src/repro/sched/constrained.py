@@ -68,7 +68,15 @@ class ConstrainedScheduler(Scheduler):
                 self.counters.inc("passes_idle")
                 return SchedulerPass(None, None)
         elif slot in self.registers.pinned:
-            raise SchedulingError(f"slot {slot} is pinned (preloaded)")
+            raise SchedulingError(
+                f"cannot run a dynamic pass on slot {slot}: it is pinned "
+                f"(preloaded); pinned slots are {sorted(self.registers.pinned)}"
+            )
+        elif slot in self.registers.quarantined:
+            raise SchedulingError(
+                f"cannot run a dynamic pass on slot {slot}: it is "
+                f"quarantined after a fault"
+            )
 
         cfg = self.registers[slot]
         pres = compute_l(
@@ -78,7 +86,10 @@ class ConstrainedScheduler(Scheduler):
             boost=self.boost if self.boost.any() else None,
             hold=self.latched if self.latched.any() else None,
         )
-        rows, cols = np.nonzero(pres.l)
+        l = pres.l
+        if self.dead_cells is not None:
+            l = l & ~self.dead_cells
+        rows, cols = np.nonzero(l)
         outcome = PassOutcome()
         if len(rows):
             n = self.n

@@ -67,6 +67,9 @@ class Scheduler:
         self.latched = np.zeros((n, n), dtype=bool)
         #: multi-slot boost mask — extension 2
         self.boost = np.zeros((n, n), dtype=bool)
+        #: dead SL cells (fault model): cell (u, v) can no longer toggle,
+        #: so connection (u, v) is invisible to the dynamic scheduler
+        self.dead_cells: np.ndarray | None = None
         self._sl_cursor = 0
         self.counters = Counter()
 
@@ -119,6 +122,47 @@ class Scheduler:
         self.clear_latches()
         self.counters.inc("flushes")
 
+    # -- fault management (repro.faults) ------------------------------------------
+
+    def kill_cell(self, u: int, v: int) -> None:
+        """Mark SL cell (u, v) dead: it can never toggle its connection.
+
+        The pre-scheduling logic's L matrix is masked at the dead cell, so
+        the dynamic scheduler neither establishes nor releases (u, v); the
+        management plane must place the connection directly
+        (:meth:`mgmt_establish`).
+        """
+        if self.dead_cells is None:
+            self.dead_cells = np.zeros((self.n, self.n), dtype=bool)
+        self.dead_cells[u, v] = True
+        self.counters.inc("sl_cells_dead")
+
+    def quarantine_slot(self, slot: int) -> list:
+        """Take a faulty slot out of service; returns its evicted connections."""
+        evicted = self.registers.quarantine(slot)
+        self.counters.inc("slots_quarantined")
+        return evicted
+
+    def mgmt_establish(self, u: int, v: int) -> int | None:
+        """Management-plane slot remapping: place (u, v) in a healthy slot.
+
+        Scans the dynamically-schedulable slots for one where both input
+        ``u`` and output ``v`` are free and establishes the connection
+        there directly, bypassing the (possibly faulty) SL array.  Returns
+        the chosen slot, or None when no healthy slot has both ports free.
+        """
+        if self.registers.b_star[u, v]:
+            return self.registers.slot_of(u, v)
+        for slot in self.registers.dynamic_slots():
+            if slot in self.registers.stuck:
+                continue
+            cfg = self.registers[slot]
+            if not cfg.input_busy()[u] and not cfg.output_busy()[v]:
+                self.registers.establish(slot, u, v)
+                self.counters.inc("mgmt_establishes")
+                return slot
+        return None
+
     # -- the SL clock ------------------------------------------------------------
 
     def next_dynamic_slot(self) -> int | None:
@@ -138,7 +182,15 @@ class Scheduler:
                 self.counters.inc("passes_idle")
                 return SchedulerPass(None, None)
         elif slot in self.registers.pinned:
-            raise SchedulingError(f"slot {slot} is pinned (preloaded)")
+            raise SchedulingError(
+                f"cannot run a dynamic pass on slot {slot}: it is pinned "
+                f"(preloaded); pinned slots are {sorted(self.registers.pinned)}"
+            )
+        elif slot in self.registers.quarantined:
+            raise SchedulingError(
+                f"cannot run a dynamic pass on slot {slot}: it is "
+                f"quarantined after a fault"
+            )
 
         cfg = self.registers[slot]
         pres = compute_l(
@@ -148,7 +200,10 @@ class Scheduler:
             boost=self.boost if self.boost.any() else None,
             hold=self.latched if self.latched.any() else None,
         )
-        rows, cols = np.nonzero(pres.l)
+        l = pres.l
+        if self.dead_cells is not None:
+            l = l & ~self.dead_cells
+        rows, cols = np.nonzero(l)
         outcome = wavefront_sparse(
             rows,
             cols,

@@ -59,8 +59,11 @@ class TdmCounter:
 
     def _scan(self, pending: np.ndarray | None) -> int | None:
         k = self.registers.k
+        quarantined = self.registers.quarantined
         for step in range(1, k + 1):
             candidate = (self.current + step) % k
+            if candidate in quarantined:
+                continue  # slot taken out of service by fault management
             cfg = self.registers[candidate]
             if cfg.is_empty:
                 continue

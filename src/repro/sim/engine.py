@@ -20,6 +20,7 @@ models in :mod:`repro.networks` drive all their state machines through one
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -137,7 +138,16 @@ class Simulator:
             heapq.heappop(self._heap)
         return self._heap[0][0] if self._heap else None
 
-    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+    #: events between wall-clock watchdog checks (a power of two so the
+    #: test ``executed & MASK`` compiles to one AND per event)
+    _WATCHDOG_STRIDE = 4096
+
+    def run(
+        self,
+        until: int | None = None,
+        max_events: int | None = None,
+        max_wall_s: float | None = None,
+    ) -> int:
         """Run the event loop.
 
         Parameters
@@ -146,11 +156,21 @@ class Simulator:
             Absolute time horizon (inclusive); events after it stay queued.
         max_events:
             Safety valve for tests: raise after this many executions.
+        max_wall_s:
+            Wall-clock watchdog: raise :class:`SimulationError` once the
+            loop has run this many real seconds.  Hung recovery loops (a
+            fault-injection hazard) die with sim-time/event diagnostics
+            instead of spinning; checked every ``_WATCHDOG_STRIDE`` events
+            so the healthy path pays no ``time.monotonic`` cost per event.
 
         Returns the simulation time after the last executed event.
         """
         self._stopped = False
         executed = 0
+        deadline = (
+            time.monotonic() + max_wall_s if max_wall_s is not None else None
+        )
+        stride = self._WATCHDOG_STRIDE - 1
         while self._heap and not self._stopped:
             entry = heapq.heappop(self._heap)
             ev = entry[3]
@@ -172,6 +192,16 @@ class Simulator:
             if max_events is not None and executed >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; likely a runaway loop"
+                )
+            if (
+                deadline is not None
+                and (executed & stride) == 0
+                and time.monotonic() > deadline
+            ):
+                raise SimulationError(
+                    f"wall-clock watchdog tripped after {max_wall_s} s: "
+                    f"sim time {self.now} ps, {executed} events this run "
+                    f"({self.events_executed} total), {len(self._heap)} queued"
                 )
         return self.now
 

@@ -17,7 +17,6 @@ node, matching the paper's "4 destinations were used").
 
 from __future__ import annotations
 
-import numpy as np
 
 from ..fabric.config import ConfigMatrix
 from ..sim.rng import RngStreams

@@ -23,6 +23,7 @@ from .errors import ConfigurationError
 
 __all__ = [
     "Connection",
+    "DropRecord",
     "Message",
     "MessageRecord",
     "validate_port",
@@ -143,6 +144,30 @@ class MessageRecord:
             raise ConfigurationError(
                 "message record times must satisfy inject <= start <= done"
             )
+
+
+@dataclass(slots=True, frozen=True)
+class DropRecord:
+    """Explicit give-up record for one undeliverable message.
+
+    Produced by the network models when fault recovery concludes a message
+    can never be delivered (dead destination link, unrecoverable scheduler
+    fault after the retry budget).  Every injected message ends as exactly
+    one :class:`MessageRecord` or one :class:`DropRecord` — the
+    conservation property the fault campaigns assert.
+
+    ``sent_bytes`` counts bytes that had already left the source when the
+    message was abandoned (they are accounted as lost in flight);
+    ``size - sent_bytes`` bytes were never transmitted.
+    """
+
+    src: int
+    dst: int
+    size: int
+    sent_bytes: int
+    seq: int
+    time_ps: int
+    reason: str
 
 
 def iter_connections(messages: list[Message]) -> Iterator[Connection]:

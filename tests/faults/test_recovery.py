@@ -1,0 +1,43 @@
+"""Unit tests for the retry/backoff policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import RetryPolicy
+from repro.sim.clock import ns
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff(self):
+        policy = RetryPolicy(timeout_ps=ns(100), backoff=2.0, max_delay_ps=ns(10_000))
+        assert policy.delay_ps(0) == ns(100)
+        assert policy.delay_ps(1) == ns(200)
+        assert policy.delay_ps(3) == ns(800)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(timeout_ps=ns(100), backoff=2.0, max_delay_ps=ns(300))
+        assert policy.delay_ps(5) == ns(300)
+
+    def test_delays_are_exact_integers(self):
+        policy = RetryPolicy(timeout_ps=333, backoff=1.5)
+        for attempt in range(8):
+            assert isinstance(policy.delay_ps(attempt), int)
+
+    def test_total_attempts(self):
+        policy = RetryPolicy(max_retries=4, mgmt_attempts=2)
+        assert policy.total_attempts == 6
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(timeout_ps=0),
+            dict(backoff=0.5),
+            dict(max_retries=-1),
+            dict(mgmt_attempts=-1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)

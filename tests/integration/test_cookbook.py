@@ -131,12 +131,12 @@ class TestCustomFabric:
     def test_cross_partition_traffic_stalls_loudly(self, monkeypatch):
         """Traffic the fabric can never carry trips the event cap rather
         than hanging silently."""
-        import repro.networks.tdm as tdm_module
+        import repro.networks.base as base_module
         from repro.errors import SimulationError
         from repro.traffic.base import assign_seq
         from repro.types import Message
 
-        monkeypatch.setattr(tdm_module, "MAX_EVENTS_PER_PHASE", 5_000)
+        monkeypatch.setattr(base_module, "MAX_EVENTS_PER_PHASE", 5_000)
         phase = TrafficPhase("impossible", [Message(src=0, dst=1, size=64)])
         assign_seq([phase])
         small = PAPER_PARAMS.with_overrides(n_ports=4)

@@ -1,8 +1,13 @@
-"""Failure injection: the invariant checkers catch corrupted state.
+"""Failure injection: invariant checkers and fault campaigns.
 
-These tests deliberately break internal state (as a bug would) and assert
-that the library's self-checks — which the simulations run at phase
-boundaries — refuse to continue silently.
+Two families of tests share this module.  The first deliberately breaks
+internal state (as a bug would) and asserts that the library's
+self-checks — which the simulations run at phase boundaries — refuse to
+continue silently.  The second runs real fault-injection campaigns
+(:mod:`repro.faults`) against every switching scheme and asserts the
+campaign contract: every injected message is delivered exactly once or
+explicitly dropped, campaigns are bit-deterministic, and a zero-rate
+campaign reproduces the healthy run exactly.
 """
 
 from __future__ import annotations
@@ -13,12 +18,60 @@ import pytest
 from repro.errors import InvariantError, SimulationError
 from repro.fabric.config import ConfigMatrix
 from repro.fabric.registers import ConfigRegisterFile
+from repro.faults import FaultInjector, FaultSchedule
+from repro.metrics.degradation import degradation_report
+from repro.metrics.serialization import result_from_dict, result_to_dict
+from repro.networks.base import BaseNetwork, STRICT_ENV_VAR
+from repro.networks.circuit import CircuitNetwork
 from repro.networks.tdm import TdmNetwork
+from repro.networks.wormhole import WormholeNetwork
 from repro.nic.queues import VirtualOutputQueues
 from repro.params import PAPER_PARAMS
 from repro.sched.slarray import wavefront_reference
+from repro.sim.clock import us
+from repro.sim.rng import RngStreams
 from repro.traffic.base import TrafficPhase, assign_seq
+from repro.traffic.hybrid import HybridPattern
 from repro.types import Message
+
+SEED = 1337
+
+#: every switching scheme, as fresh factories taking an optional injector
+SCHEMES = {
+    "wormhole": lambda params, inj: WormholeNetwork(params, faults=inj),
+    "circuit": lambda params, inj: CircuitNetwork(params, faults=inj),
+    "dynamic-tdm": lambda params, inj: TdmNetwork(
+        params, k=4, mode="dynamic", injection_window=4, faults=inj
+    ),
+    "preload": lambda params, inj: TdmNetwork(
+        params, k=4, mode="preload", injection_window=4, faults=inj
+    ),
+}
+
+
+def _phases(params):
+    """A fully static workload every scheme (including preload) can serve."""
+    pattern = HybridPattern(
+        params.n_ports, 512, determinism=1.0, messages_per_node=4, n_static=2
+    )
+    return pattern.phases(RngStreams(SEED))
+
+
+def _storm(params, rate_per_us: float, seed: int = SEED) -> FaultSchedule:
+    return FaultSchedule.generate(
+        seed=seed,
+        rate_per_us=rate_per_us,
+        horizon_ps=us(100),
+        n_ports=params.n_ports,
+        k=4,
+    )
+
+
+def _run(params, scheme: str, rate_per_us: float, seed: int = SEED):
+    inj = FaultInjector(_storm(params, rate_per_us, seed))
+    net: BaseNetwork = SCHEMES[scheme](params, inj)
+    net.max_wall_s = 120.0
+    return net.run(_phases(params))
 
 
 class TestConfigCorruption:
@@ -112,3 +165,140 @@ class TestRunawayProtection:
         monkeypatch.setattr(FlowLedger, "deliver", lambda self, *a: None)
         with pytest.raises(InvariantError):
             net.run([phase])
+
+
+PARAMS8 = PAPER_PARAMS.with_overrides(n_ports=8)
+
+
+class TestConservationUnderFaults:
+    """Campaign contract: delivered exactly once, or explicitly dropped."""
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    @pytest.mark.parametrize("rate", [1.0, 4.0, 16.0])
+    def test_every_message_accounted_for(self, scheme, rate):
+        phases = _phases(PARAMS8)
+        injected = {m.seq for p in phases for m in p.messages}
+        result = _run(PARAMS8, scheme, rate)
+        delivered = [r.seq for r in result.records]
+        dropped = [d.seq for d in result.drops]
+        # no duplicates on either side, no overlap, nothing missing
+        assert len(delivered) == len(set(delivered))
+        assert len(dropped) == len(set(dropped))
+        assert set(delivered) & set(dropped) == set()
+        assert set(delivered) | set(dropped) == injected
+        assert degradation_report(result).duplicated == 0
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_heavy_storm_still_terminates_and_balances(self, scheme):
+        """A brutal storm (64 faults/us) must still end in a balanced ledger.
+
+        ``BaseNetwork.run`` asserts byte conservation at every phase
+        boundary, so completing at all is the assertion.
+        """
+        phases = _phases(PARAMS8)
+        injected = sum(len(p.messages) for p in phases)
+        result = _run(PARAMS8, scheme, 64.0)
+        assert len(result.records) + len(result.drops) == injected
+        # a storm this heavy must actually draw blood somewhere
+        assert any(
+            k.startswith("fault_applied_") for k in result.counters
+        )
+
+
+class TestCampaignDeterminism:
+    """Same (seed, rate, scheme) -> bit-identical timelines and metrics."""
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_repeat_run_bit_identical(self, scheme):
+        a = _run(PARAMS8, scheme, 8.0)
+        b = _run(PARAMS8, scheme, 8.0)
+        assert a.makespan_ps == b.makespan_ps
+        assert a.records == b.records
+        assert a.drops == b.drops
+        assert a.recovery_ps == b.recovery_ps
+        assert a.counters == b.counters
+
+    def test_different_fault_seed_differs(self):
+        a = _run(PARAMS8, "dynamic-tdm", 8.0, seed=1)
+        b = _run(PARAMS8, "dynamic-tdm", 8.0, seed=2)
+        assert a.counters != b.counters or a.makespan_ps != b.makespan_ps
+
+
+class TestZeroRateEquivalence:
+    """An armed-but-empty campaign must not change a single bit."""
+
+    @pytest.mark.parametrize("scheme", sorted(SCHEMES))
+    def test_empty_schedule_reproduces_healthy_run(self, scheme):
+        healthy = SCHEMES[scheme](PARAMS8, None).run(_phases(PARAMS8))
+        faulted = _run(PARAMS8, scheme, 0.0)
+        assert faulted.makespan_ps == healthy.makespan_ps
+        assert faulted.records == healthy.records
+        assert faulted.counters == healthy.counters
+        assert faulted.drops == [] and faulted.recovery_ps == []
+        assert [p.end_ps for p in faulted.phases] == [
+            p.end_ps for p in healthy.phases
+        ]
+
+
+class TestFaultedResultRoundTrip:
+    def test_serialization_preserves_drops_and_recoveries(self):
+        result = _run(PARAMS8, "dynamic-tdm", 16.0)
+        back = result_from_dict(result_to_dict(result))
+        assert back.drops == result.drops
+        assert back.recovery_ps == result.recovery_ps
+        assert back.records == result.records
+
+    def test_old_format_without_fault_fields_loads(self):
+        result = SCHEMES["wormhole"](PARAMS8, None).run(_phases(PARAMS8))
+        data = result_to_dict(result)
+        del data["drops"], data["recovery_ps"]
+        back = result_from_dict(data)
+        assert back.drops == [] and back.recovery_ps == []
+
+
+class TestStrictMode:
+    def test_strict_healthy_run_passes(self):
+        net = TdmNetwork(PARAMS8, k=4, mode="dynamic", strict=True)
+        assert net.strict
+        net.run(_phases(PARAMS8))
+
+    def test_env_var_enables_strict(self, monkeypatch):
+        monkeypatch.setenv(STRICT_ENV_VAR, "1")
+        assert TdmNetwork(PARAMS8, k=4, mode="dynamic").strict
+        monkeypatch.setenv(STRICT_ENV_VAR, "0")
+        assert not TdmNetwork(PARAMS8, k=4, mode="dynamic").strict
+
+    def test_explicit_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(STRICT_ENV_VAR, "1")
+        assert not TdmNetwork(PARAMS8, k=4, mode="dynamic", strict=False).strict
+
+    def test_strict_campaign_across_schemes(self):
+        """Strict invariant sweeps stay green through a real storm."""
+        for scheme in sorted(SCHEMES):
+            inj = FaultInjector(_storm(PARAMS8, 8.0))
+            net = SCHEMES[scheme](PARAMS8, inj)
+            net.strict = True
+            net.run(_phases(PARAMS8))
+
+
+class TestWallClockWatchdog:
+    def test_engine_watchdog_trips_on_spin(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1, forever)
+
+        sim.schedule(0, forever)
+        with pytest.raises(SimulationError, match="watchdog"):
+            sim.run(max_wall_s=0.05)
+
+    def test_network_passes_watchdog_through(self, monkeypatch):
+        """A network stuck in a clock loop dies by wall clock, not hang."""
+        net = TdmNetwork(PARAMS8, k=4, mode="dynamic", max_wall_s=0.1)
+        assert net.max_wall_s == 0.1
+        # sabotage delivery so the phase never completes and clocks spin
+        monkeypatch.setattr(TdmNetwork, "_deliver", lambda self, record: None)
+        with pytest.raises(SimulationError, match="watchdog"):
+            net.run(_phases(PARAMS8))

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.networks.tdm import TdmNetwork
 from repro.params import PAPER_PARAMS

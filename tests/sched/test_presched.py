@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 from hypothesis import given
-from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.errors import InvariantError

@@ -10,7 +10,6 @@ from repro.fabric.config import ConfigMatrix
 from repro.params import PAPER_PARAMS
 from repro.sched.priority import FixedPriority, RandomPriority, RoundRobinPriority
 from repro.sched.scheduler import Scheduler
-from repro.sched.tdm import TdmCounter
 from repro.sim.rng import stream
 
 

@@ -119,6 +119,28 @@ class TestLoadLatencyCommand:
         assert rc == 0
         assert "load,wormhole" in capsys.readouterr().out
 
+    def test_faults(self, capsys):
+        rc = main(
+            ["--ports", "8", "faults", "--rates", "0,8",
+             "--schemes", "wormhole,dynamic-tdm", "--messages", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delivered message fraction" in out and "dynamic-tdm" in out
+
+    def test_faults_csv(self, capsys):
+        rc = main(
+            ["--ports", "8", "faults", "--rates", "0,8",
+             "--schemes", "wormhole", "--messages", "2", "--csv"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "faults_per_us,wormhole:delivered" in out
+
+    def test_faults_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown schemes"):
+            main(["--ports", "8", "faults", "--schemes", "bogus"])
+
 
 class TestReportCommand:
     def test_quick_report(self, capsys):

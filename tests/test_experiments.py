@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.common import figure4_schemes, measure
+from repro.experiments.faults import run_faults
 from repro.experiments.figure4 import figure4_patterns, run_figure4
 from repro.experiments.figure5 import run_figure5
 from repro.experiments.table3 import format_table3, run_table3
@@ -107,3 +108,39 @@ class TestFigure5Driver:
         )
         assert "Figure 5" in result.format()
         assert "determinism" in result.csv()
+
+
+class TestFaultsDriver:
+    def test_small_sweep(self, params):
+        result = run_faults(
+            params=params,
+            rates=(0.0, 4.0),
+            schemes=("wormhole", "dynamic-tdm"),
+            messages_per_node=2,
+        )
+        assert set(result.delivered) == {"wormhole", "dynamic-tdm"}
+        assert len(result.points) == 4
+        for scheme in result.delivered:
+            # rate 0 is lossless and at full healthy bandwidth
+            assert result.point(scheme, 0.0).report.delivered_fraction == 1.0
+            assert result.bandwidth[scheme][0] >= result.bandwidth[scheme][1]
+            for point in (result.point(scheme, r) for r in (0.0, 4.0)):
+                assert point.report.duplicated == 0
+
+    def test_sweep_deterministic(self, params):
+        kwargs = dict(
+            params=params, rates=(8.0,), schemes=("circuit",), messages_per_node=2
+        )
+        a, b = run_faults(**kwargs), run_faults(**kwargs)
+        assert a.delivered == b.delivered
+        assert a.bandwidth == b.bandwidth
+        assert [p.makespan_ps for p in a.points] == [p.makespan_ps for p in b.points]
+
+    def test_format_and_csv(self, params):
+        result = run_faults(
+            params=params, rates=(0.0,), schemes=("wormhole",), messages_per_node=2
+        )
+        assert "delivered message fraction" in result.format()
+        assert "faults_per_us,wormhole:delivered" in result.csv()
+        with pytest.raises(KeyError):
+            result.point("wormhole", 99.0)
