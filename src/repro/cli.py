@@ -8,6 +8,7 @@ Regenerates any paper artifact from the shell::
     python -m repro ablations --only a1,a4
     python -m repro faults --rates 0,1,4 --schemes dynamic-tdm,preload
     python -m repro multihop --bytes 512 --hops 1,2,4,8
+    python -m repro trace figure4 --format chrome -o fig4.json
 
 ``--ports`` scales the system (the paper uses 128; smaller is faster),
 ``--seed`` changes the workload realisation, ``--csv`` switches figure
@@ -191,6 +192,75 @@ def _cmd_multihop(args: argparse.Namespace) -> int:
     return 0
 
 
+#: experiments ``repro trace`` can instrument (figure4 = its random-mesh panel)
+_TRACE_EXPERIMENTS = ("figure4", "scatter", "random-mesh", "ordered-mesh", "two-phase")
+
+_TRACE_EXTENSIONS = {"chrome": "json", "jsonl": "jsonl", "csv": "csv"}
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .experiments.common import figure4_schemes
+    from .experiments.figure4 import figure4_patterns
+    from .obs import (
+        TracedRun,
+        profile_run,
+        to_chrome_trace,
+        to_csv,
+        to_jsonl,
+        utilization_report,
+    )
+    from .sim.rng import RngStreams
+    from .sim.trace import Tracer
+
+    params = _params(args)
+    pattern_name = "random-mesh" if args.experiment == "figure4" else args.experiment
+    factories = figure4_schemes(params)
+    wanted = _csv_list(args.schemes) if args.schemes else list(factories)
+    for name in wanted:
+        if name not in factories:
+            print(f"unknown scheme {name!r}; choose from {sorted(factories)}")
+            return 2
+    runs: list[TracedRun] = []
+    for name in wanted:
+        tracer = Tracer(capacity=args.capacity)
+        net = factories[name](tracer)
+        # every scheme sees a byte-identical workload realisation
+        pattern = figure4_patterns(params)[pattern_name](args.bytes)
+        phases = pattern.phases(RngStreams(args.seed))
+        result, report = profile_run(
+            lambda: net.run(phases, pattern.name),
+            label=name,
+            with_cprofile=args.profile,
+        )
+        report.perf.update(net.sim.perf_counters())
+        events = list(tracer.events())
+        runs.append(TracedRun(name, events, dict(result.counters)))
+        print(
+            f"{name}: {len(events)} events traced "
+            f"({tracer.dropped} overwritten), makespan "
+            f"{result.makespan_ps / 1000:.1f} ns"
+        )
+        if args.profile:
+            print(report.format())
+        if args.utilization:
+            print(utilization_report(events, params.slot_ps, label=name))
+    out = args.output or f"trace_{args.experiment}.{_TRACE_EXTENSIONS[args.format]}"
+    if args.format == "chrome":
+        counts = to_chrome_trace(runs, out)
+        print(
+            f"wrote {out}: {counts['spans']} spans + {counts['instants']} "
+            f"instants across {counts['runs']} processes "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        )
+    elif args.format == "jsonl":
+        n = to_jsonl(runs, out)
+        print(f"wrote {out}: {n} events")
+    else:
+        n = to_csv(runs, out)
+        print(f"wrote {out}: {n} rows")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -246,6 +316,32 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--quick", action="store_true", help="reduced grid for smoke tests")
     rp.add_argument("--output", help="write to this file instead of stdout")
     rp.set_defaults(fn=_cmd_report)
+
+    tr = sub.add_parser("trace", help="run an experiment traced and export a timeline")
+    tr.add_argument(
+        "experiment",
+        choices=_TRACE_EXPERIMENTS,
+        help="what to trace (figure4 = its random-mesh panel)",
+    )
+    tr.add_argument(
+        "--format",
+        choices=sorted(_TRACE_EXTENSIONS),
+        default="chrome",
+        help="export format (default: chrome, for chrome://tracing / Perfetto)",
+    )
+    tr.add_argument("-o", "--output", help="output file (default: trace_<experiment>.<ext>)")
+    tr.add_argument("--bytes", type=int, default=512, help="message size")
+    tr.add_argument("--schemes", help="wormhole,circuit,dynamic-tdm,preload")
+    tr.add_argument(
+        "--capacity", type=int, default=1 << 20, help="tracer ring-buffer capacity"
+    )
+    tr.add_argument(
+        "--profile", action="store_true", help="perf counters + cProfile hotspots"
+    )
+    tr.add_argument(
+        "--utilization", action="store_true", help="print slot/port utilization report"
+    )
+    tr.set_defaults(fn=_cmd_trace)
 
     mh = sub.add_parser("multihop", help="multi-hop TDM vs wormhole model (A7)")
     mh.add_argument("--bytes", type=int, default=512, help="message size")

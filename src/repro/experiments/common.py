@@ -78,21 +78,30 @@ def figure4_schemes(
     params: SystemParams,
     k: int = 4,
     injection_window: int | None = DEFAULT_INJECTION_WINDOW,
-) -> dict[str, Callable[[], BaseNetwork]]:
+) -> dict[str, Callable[..., BaseNetwork]]:
     """The four switching schemes Figure 4 compares, as fresh factories.
 
     The TDM entries use multiplexing degree ``k`` (the paper uses 4) and
     the given injection window.  Wormhole and circuit switching serve each
     source's messages strictly in order, so the window does not apply to
-    them.
+    them.  Each factory accepts an optional tracer, so ``repro trace``
+    can instrument the very networks the experiments measure.
     """
     return {
-        "wormhole": lambda: WormholeNetwork(params),
-        "circuit": lambda: CircuitNetwork(params),
-        "dynamic-tdm": lambda: TdmNetwork(
-            params, k=k, mode="dynamic", injection_window=injection_window
+        "wormhole": lambda tracer=None: WormholeNetwork(params, tracer=tracer),
+        "circuit": lambda tracer=None: CircuitNetwork(params, tracer=tracer),
+        "dynamic-tdm": lambda tracer=None: TdmNetwork(
+            params,
+            k=k,
+            mode="dynamic",
+            injection_window=injection_window,
+            tracer=tracer,
         ),
-        "preload": lambda: TdmNetwork(
-            params, k=k, mode="preload", injection_window=injection_window
+        "preload": lambda tracer=None: TdmNetwork(
+            params,
+            k=k,
+            mode="preload",
+            injection_window=injection_window,
+            tracer=tracer,
         ),
     }

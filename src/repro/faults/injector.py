@@ -155,16 +155,25 @@ class FaultInjector:
         """A fault disrupted connection (u, v) with traffic still pending."""
         conn = (u, v)
         if conn not in self._awaiting:
-            assert self._network is not None
-            self._awaiting[conn] = self._network.sim.now
+            net = self._network
+            assert net is not None
+            self._awaiting[conn] = net.sim.now
+            if net.tracer.enabled:
+                net.tracer.record(net.sim.now, "recovery-open", src=u, dst=v)
 
     def note_progress(self, u: int, v: int) -> None:
         """Connection (u, v) moved bytes again — close its recovery window."""
         since = self._awaiting.pop((u, v), None)
         if since is not None:
-            assert self._network is not None
-            self.recovery_ps.append(self._network.sim.now - since)
+            net = self._network
+            assert net is not None
+            latency = net.sim.now - since
+            self.recovery_ps.append(latency)
             self.counters.inc("recoveries")
+            if net.tracer.enabled:
+                net.tracer.record(
+                    net.sim.now, "recovery-closed", src=u, dst=v, latency_ps=latency
+                )
 
     def cancel_awaiting(self, u: int, v: int) -> None:
         """Connection (u, v) was given up — it will never recover."""

@@ -159,7 +159,8 @@ class BaseNetwork(ABC):
             raise SimulationError("nothing to run: no phases")
         n = self.params.n_ports
         self.sim = Simulator()
-        self.nics = [Nic(self.params, p) for p in range(n)]
+        clock = lambda: self.sim.now  # noqa: E731 - rebinds to the fresh sim
+        self.nics = [Nic(self.params, p, self.tracer, clock) for p in range(n)]
         self.ledger = FlowLedger(n)
         self.records = []
         self.drops = []
@@ -287,6 +288,15 @@ class BaseNetwork(ABC):
         ):
             self._drop_message(msg, "dead-link")
             return
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.sim.now,
+                "msg-inject",
+                src=msg.src,
+                dst=msg.dst,
+                size=msg.size,
+                seq=msg.seq,
+            )
         self._accept(msg, at_phase_start)
 
     def _accept(self, msg: Message, at_phase_start: bool) -> None:
@@ -302,7 +312,12 @@ class BaseNetwork(ABC):
         if self._phase_remaining < 0:  # pragma: no cover
             raise SimulationError("delivered more messages than injected")
         self.tracer.record(
-            record.done_ps, "deliver", src=record.src, dst=record.dst, size=record.size
+            record.done_ps,
+            "deliver",
+            src=record.src,
+            dst=record.dst,
+            size=record.size,
+            seq=record.seq,
         )
 
     def _drop_message(self, msg: Message, reason: str) -> None:
@@ -333,7 +348,7 @@ class BaseNetwork(ABC):
         if self._phase_remaining < 0:  # pragma: no cover
             raise SimulationError("dropped more messages than injected")
         self.tracer.record(
-            self.sim.now, "drop", src=msg.src, dst=msg.dst, size=msg.size
+            self.sim.now, "drop", src=msg.src, dst=msg.dst, size=msg.size, seq=msg.seq
         )
         if self._phase_remaining == 0:
             self.sim.stop()

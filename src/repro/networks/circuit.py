@@ -83,6 +83,8 @@ class CircuitNetwork(BaseNetwork):
         rotation = self.rotation_template or RoundRobinPriority(n)
         rotation.reset()
         self.scheduler = Scheduler(self.params, k=1, rotation=rotation)
+        self.scheduler.tracer = self.tracer
+        self.scheduler.clock = lambda: self.sim.now
         self._fifo = [deque() for _ in range(n)]
         self._state = [_IDLE] * n
         self._current = [None] * n
@@ -155,6 +157,8 @@ class CircuitNetwork(BaseNetwork):
     def _request_up(self, u: int, v: int) -> None:
         sched = self.scheduler
         assert sched is not None
+        if self.tracer.enabled and not sched.r_view[u, v]:
+            self.tracer.record(self.sim.now, "req-rise", src=u, dst=v)
         sched.r_view[u, v] = True
 
     def _request_down(self, u: int, v: int) -> None:
@@ -165,6 +169,8 @@ class CircuitNetwork(BaseNetwork):
         msg = self._current[u]
         if msg is not None and msg.dst == v and self._state[u] != _IDLE:
             return
+        if self.tracer.enabled and sched.r_view[u, v]:
+            self.tracer.record(self.sim.now, "req-drop", src=u, dst=v)
         sched.r_view[u, v] = False
 
     # -- scheduler clock -----------------------------------------------------------
@@ -253,7 +259,9 @@ class CircuitNetwork(BaseNetwork):
             done_ps=done_ps,
             seq=msg.seq,
         )
-        self.tracer.record(t, "circuit-tx", src=u, dst=msg.dst, reused=reused)
+        self.tracer.record(
+            t, "circuit-tx", src=u, dst=msg.dst, bytes=msg.size, reused=reused
+        )
         self.sim.schedule_at(tail_ps, self._tail_left, u, priority=Priority.NIC)
         self.sim.schedule_at(done_ps, self._deliver, record, priority=Priority.NIC)
 

@@ -178,6 +178,8 @@ class TdmNetwork(BaseNetwork):
             )
         else:
             self.scheduler = Scheduler(self.params, self.k, rotation)
+        self.scheduler.tracer = self.tracer
+        self.scheduler.clock = lambda: self.sim.now
         self.predictor = self.predictor_template or NullPredictor()
         self.crossbar = Crossbar(self.params, FabricTiming.lvds(self.params))
         if self.multislot_threshold_bytes is not None:
@@ -231,6 +233,15 @@ class TdmNetwork(BaseNetwork):
             self.ledger.offer(msg.src, msg.dst, msg.size)
             self._scripts[msg.src].append(msg)
             self._script_bytes[msg.src, msg.dst] += msg.size
+            if self.tracer.enabled:
+                self.tracer.record(
+                    msg.inject_ps,
+                    "msg-inject",
+                    src=msg.src,
+                    dst=msg.dst,
+                    size=msg.size,
+                    seq=msg.seq,
+                )
         self._phase_remaining = len(phase.messages)
         for u in range(n):
             for _ in range(self.injection_window):
@@ -261,6 +272,8 @@ class TdmNetwork(BaseNetwork):
         sched = self.scheduler
         assert sched is not None
         if self.nics[u].voqs.bytes_pending[v] > 0:
+            if self.tracer.enabled and not sched.r_view[u, v]:
+                self.tracer.record(self.sim.now, "req-rise", src=u, dst=v)
             sched.r_view[u, v] = True
             if self._faults_active and not sched.established_anywhere(u, v):
                 self._arm_watch(u, v)
@@ -403,7 +416,14 @@ class TdmNetwork(BaseNetwork):
             else:
                 # trailing registers of a short batch fall back to dynamic use
                 regs.clear_slot(s)
+        prev_conns = self._batch_conns
         self._batch_conns = self._program.batch_connections(index)
+        if self.tracer.enabled:
+            now = self.sim.now
+            for u, v in sorted(prev_conns - self._batch_conns):
+                self.tracer.record(now, "conn-release", src=u, dst=v, via="preload")
+            for u, v in sorted(self._batch_conns - prev_conns):
+                self.tracer.record(now, "conn-establish", src=u, dst=v, via="preload")
         if self._conn_ready is not None:
             ready = self.sim.now + self.params.grant_wire_ps
             for u, v in self._batch_conns:
@@ -472,6 +492,8 @@ class TdmNetwork(BaseNetwork):
             # a new phase refilled the queue while the drop was in flight
             sched.r_view[u, v] = True
             return
+        if self.tracer.enabled and sched.r_view[u, v]:
+            self.tracer.record(self.sim.now, "req-drop", src=u, dst=v)
         sched.r_view[u, v] = False
         sched.latched[u, v] = hold
 
@@ -502,6 +524,10 @@ class TdmNetwork(BaseNetwork):
         conn_ready = self._conn_ready
         assert conn_ready is not None
         faults_active = self._faults_active
+        tracer = self.tracer
+        trace = tracer.enabled
+        slot_conns = 0
+        slot_bytes_moved = 0
         for u, v in cfg.connections():
             nic = self.nics[u]
             self._slot_opportunities += 1
@@ -515,6 +541,10 @@ class TdmNetwork(BaseNetwork):
             if moved == 0:
                 continue
             self._slot_transfers += 1
+            slot_conns += 1
+            slot_bytes_moved += moved
+            if trace:
+                tracer.record(t, "xfer", src=u, dst=v, bytes=moved, slot=slot)
             self.ledger.send(u, v, moved)
             if faults_active:
                 assert self.fault_injector is not None
@@ -556,6 +586,10 @@ class TdmNetwork(BaseNetwork):
                     hold,
                     priority=Priority.WIRE,
                 )
+        if trace:
+            tracer.record(
+                t, "slot-transfer", slot=slot, conns=slot_conns, bytes=slot_bytes_moved
+            )
 
     # -- the SL clock -------------------------------------------------------------------------
 

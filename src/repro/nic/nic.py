@@ -15,9 +15,12 @@ The NIC itself is passive bookkeeping; the network models move the data.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..params import SystemParams
+from ..sim.trace import NULL_TRACER, Tracer
 from ..types import Message, MessageRecord
 from .queues import VirtualOutputQueues
 
@@ -34,9 +37,17 @@ class Nic:
         "bytes_received",
         "records",
         "last_request",
+        "tracer",
+        "clock",
     )
 
-    def __init__(self, params: SystemParams, port: int) -> None:
+    def __init__(
+        self,
+        params: SystemParams,
+        port: int,
+        tracer: Tracer | None = None,
+        clock: Callable[[], int] | None = None,
+    ) -> None:
         self.params = params
         self.port = port
         self.voqs = VirtualOutputQueues(params.n_ports, port)
@@ -45,9 +56,21 @@ class Nic:
         self.records: list[MessageRecord] = []
         #: last request vector communicated to the scheduler (for edge detection)
         self.last_request = np.zeros(params.n_ports, dtype=bool)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: simulation-time source for instrumentation timestamps
+        self.clock = clock if clock is not None else (lambda: 0)
 
     def enqueue(self, msg: Message) -> None:
         self.voqs.enqueue(msg)
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.clock(),
+                "nic-enqueue",
+                port=self.port,
+                dst=msg.dst,
+                size=msg.size,
+                depth=int(self.voqs.bytes_pending[msg.dst]),
+            )
 
     def request_vector(self) -> np.ndarray:
         return self.voqs.request_vector()
@@ -68,6 +91,10 @@ class Nic:
         """Account a completed delivery (last byte arrived)."""
         self.bytes_received += record.size
         self.records.append(record)
+        if self.tracer.enabled:
+            self.tracer.record(
+                record.done_ps, "nic-rx", port=self.port, src=record.src, bytes=record.size
+            )
 
     @property
     def idle(self) -> bool:

@@ -1,0 +1,53 @@
+"""Observability: typed trace events, exporters, timelines, and profiling.
+
+The simulators record structured events through :class:`repro.sim.trace.Tracer`;
+this package gives those events a shared vocabulary (:mod:`~repro.obs.events`),
+turns them into JSONL / CSV / Chrome-trace files (:mod:`~repro.obs.exporters`),
+reduces them to slot-occupancy and duty-cycle reports
+(:mod:`~repro.obs.timeline`), and wraps runs in perf-counter / cProfile
+reports (:mod:`~repro.obs.profile`).
+"""
+
+from .events import CATEGORIES, SPAN_RULES, TRANSFER_KINDS, Kind, SpanRule
+from .exporters import (
+    Span,
+    TracedRun,
+    derive_spans,
+    from_jsonl,
+    to_chrome_trace,
+    to_csv,
+    to_jsonl,
+)
+from .profile import ProfileReport, format_perf, profile_run
+from .timeline import (
+    PortStats,
+    SlotStats,
+    port_duty_cycle,
+    request_latencies,
+    slot_occupancy,
+    utilization_report,
+)
+
+__all__ = [
+    "Kind",
+    "SpanRule",
+    "CATEGORIES",
+    "SPAN_RULES",
+    "TRANSFER_KINDS",
+    "TracedRun",
+    "Span",
+    "derive_spans",
+    "to_jsonl",
+    "from_jsonl",
+    "to_csv",
+    "to_chrome_trace",
+    "SlotStats",
+    "PortStats",
+    "slot_occupancy",
+    "port_duty_cycle",
+    "request_latencies",
+    "utilization_report",
+    "ProfileReport",
+    "profile_run",
+    "format_perf",
+]

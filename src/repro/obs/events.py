@@ -1,0 +1,145 @@
+"""The typed event-kind catalog of the observability layer.
+
+Every instrumentation point in the simulators records one of the kinds
+below; free-form strings are still legal at the :class:`~repro.sim.trace.Tracer`
+layer, but everything the package itself emits is listed here so exporters,
+timelines, and tests share one vocabulary.
+
+The catalog also declares how point events pair up into **spans** (a
+begin/end interval with an identity): messages live from injection to
+delivery (or an explicit drop under faults), connections from establishment
+to release, and fault-recovery windows from disruption to the next
+transferred byte.  :func:`repro.obs.exporters.derive_spans` applies these
+rules when building Chrome/Perfetto timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Kind", "CATEGORIES", "SPAN_RULES", "SpanRule", "TRANSFER_KINDS"]
+
+
+class Kind:
+    """String constants for every event kind the instrumentation emits."""
+
+    # message lifecycle (all schemes)
+    MSG_INJECT = "msg-inject"  # src, dst, size, seq — entered the source NIC
+    DELIVER = "deliver"  # src, dst, size, seq — last byte reached memory
+    DROP = "drop"  # src, dst, size, seq — explicitly given up under faults
+
+    # connection lifecycle (scheduler, management, and preload planes)
+    CONN_ESTABLISH = "conn-establish"  # src, dst, slot[, via]
+    CONN_RELEASE = "conn-release"  # src, dst, slot[, via]
+    MGMT_REMAP = "mgmt-remap"  # src, dst, slot — management-plane placement
+    PRELOAD_BATCH = "preload-batch"  # index, conns — compiled batch loaded
+
+    # the SL-array scheduler
+    SL_PASS = "sl-pass"  # slot, toggles, blocked — one SL clock period
+
+    # data plane
+    SLOT_TRANSFER = "slot-transfer"  # slot, conns, bytes — one TDM slot's work
+    XFER = "xfer"  # src, dst, bytes, slot — one connection's slot transfer
+    WORM_GRANTED = "worm-granted"  # src, dst, bytes — wormhole grant
+    WORM_BLOCKED = "worm-blocked"  # src, dst — head blocked at a busy port
+    CIRCUIT_TX = "circuit-tx"  # src, dst, bytes, reused — circuit transmission
+
+    # request plane (NIC -> scheduler wires)
+    REQ_RISE = "req-rise"  # src, dst — request line seen by the scheduler
+    REQ_DROP = "req-drop"  # src, dst — queue-empty edge seen by the scheduler
+
+    # the NIC itself
+    NIC_ENQUEUE = "nic-enqueue"  # port, dst, size, depth — message entered VOQs
+    NIC_RX = "nic-rx"  # port, src, bytes — delivery into the input buffer
+
+    # faults and recovery (repro.faults)
+    FAULT_LINK_DOWN = "fault-link-down"
+    FAULT_LINK_UP = "fault-link-up"
+    FAULT_LINK_DEAD = "fault-link-dead"
+    FAULT_SLOT_STUCK = "fault-slot-stuck"
+    FAULT_SLOT_CORRUPT = "fault-slot-corrupt"
+    FAULT_SLOT_QUARANTINE = "fault-slot-quarantine"
+    FAULT_REQ_DROP = "fault-req-drop"
+    FAULT_SL_DEAD = "fault-sl-dead"
+    DEGRADE = "degrade-to-dynamic"
+    RECOVERY_OPEN = "recovery-open"  # src, dst — disruption with traffic pending
+    RECOVERY_CLOSED = "recovery-closed"  # src, dst, latency_ps — bytes flow again
+
+
+#: Chrome-trace category per kind (used for filtering in the viewer).
+CATEGORIES: dict[str, str] = {
+    Kind.MSG_INJECT: "message",
+    Kind.DELIVER: "message",
+    Kind.DROP: "message",
+    Kind.CONN_ESTABLISH: "connection",
+    Kind.CONN_RELEASE: "connection",
+    Kind.MGMT_REMAP: "connection",
+    Kind.PRELOAD_BATCH: "connection",
+    Kind.SL_PASS: "scheduler",
+    Kind.SLOT_TRANSFER: "data",
+    Kind.XFER: "data",
+    Kind.WORM_GRANTED: "data",
+    Kind.WORM_BLOCKED: "data",
+    Kind.CIRCUIT_TX: "data",
+    Kind.REQ_RISE: "request",
+    Kind.REQ_DROP: "request",
+    Kind.NIC_ENQUEUE: "nic",
+    Kind.NIC_RX: "nic",
+    Kind.FAULT_LINK_DOWN: "fault",
+    Kind.FAULT_LINK_UP: "fault",
+    Kind.FAULT_LINK_DEAD: "fault",
+    Kind.FAULT_SLOT_STUCK: "fault",
+    Kind.FAULT_SLOT_CORRUPT: "fault",
+    Kind.FAULT_SLOT_QUARANTINE: "fault",
+    Kind.FAULT_REQ_DROP: "fault",
+    Kind.FAULT_SL_DEAD: "fault",
+    Kind.DEGRADE: "fault",
+    Kind.RECOVERY_OPEN: "fault",
+    Kind.RECOVERY_CLOSED: "fault",
+}
+
+#: kinds that move bytes over a port (used by the duty-cycle timeline)
+TRANSFER_KINDS = (Kind.XFER, Kind.WORM_GRANTED, Kind.CIRCUIT_TX)
+
+
+@dataclass(slots=True, frozen=True)
+class SpanRule:
+    """How two point events pair into one timeline span.
+
+    ``keys`` name the payload fields forming the span's identity: a begin
+    event opens the span for its key tuple, the first matching end event
+    closes it.  Re-opening an already-open key is ignored (the span is
+    already running), and spans still open when the trace ends are closed
+    at the last recorded timestamp.
+    """
+
+    name: str
+    category: str
+    begin: str
+    end: tuple[str, ...]
+    keys: tuple[str, ...]
+
+
+SPAN_RULES: tuple[SpanRule, ...] = (
+    SpanRule(
+        name="message",
+        category="message",
+        begin=Kind.MSG_INJECT,
+        end=(Kind.DELIVER, Kind.DROP),
+        keys=("src", "dst", "seq"),
+    ),
+    SpanRule(
+        name="connection",
+        category="connection",
+        begin=Kind.CONN_ESTABLISH,
+        end=(Kind.CONN_RELEASE,),
+        keys=("src", "dst"),
+    ),
+    SpanRule(
+        name="recovery",
+        category="fault",
+        begin=Kind.RECOVERY_OPEN,
+        end=(Kind.RECOVERY_CLOSED,),
+        keys=("src", "dst"),
+    ),
+)

@@ -1,0 +1,81 @@
+"""Event-loop profiling: perf counters plus an opt-in cProfile wrapper.
+
+The :class:`~repro.sim.engine.Simulator` keeps its own cheap counters
+(events/sec, heap high-water mark, cancelled-event ratio); this module
+formats them and, when asked, wraps a run in :mod:`cProfile` to attribute
+wall time to simulator internals — all standard library, nothing to
+install.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["ProfileReport", "profile_run", "format_perf"]
+
+
+def format_perf(perf: dict[str, float]) -> str:
+    """Render :meth:`Simulator.perf_counters` output as aligned lines."""
+    lines = []
+    for key, value in perf.items():
+        if isinstance(value, float):
+            text = f"{value:,.3f}" if value < 1e6 else f"{value:,.0f}"
+        else:
+            text = f"{value:,}"
+        lines.append(f"  {key:<18} {text}")
+    return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class ProfileReport:
+    """What one profiled excursion observed."""
+
+    label: str
+    wall_s: float = 0.0
+    #: simulator perf counters, if the caller attached them
+    perf: dict[str, float] = field(default_factory=dict)
+    #: top cProfile entries (empty unless profiling was enabled)
+    hotspots: str = ""
+
+    def format(self) -> str:
+        out = [f"=== profile: {self.label} (wall {self.wall_s:.3f} s) ==="]
+        if self.perf:
+            out.append(format_perf(self.perf))
+        if self.hotspots:
+            out.append(self.hotspots.rstrip())
+        return "\n".join(out)
+
+
+def profile_run(
+    fn: Callable[[], Any],
+    *,
+    label: str = "run",
+    with_cprofile: bool = False,
+    top: int = 15,
+) -> tuple[Any, ProfileReport]:
+    """Run ``fn()`` and report wall time and, optionally, cProfile hotspots.
+
+    Returns ``(fn's result, report)``.  The caller typically follows up
+    with ``report.perf.update(sim.perf_counters())`` once it can reach the
+    simulator that ran.
+    """
+    report = ProfileReport(label)
+    start = time.monotonic()
+    if with_cprofile:
+        profiler = cProfile.Profile()
+        result = profiler.runcall(fn)
+        report.wall_s = time.monotonic() - start
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats(pstats.SortKey.CUMULATIVE)
+        stats.print_stats(top)
+        report.hotspots = buf.getvalue()
+    else:
+        result = fn()
+        report.wall_s = time.monotonic() - start
+    return result, report

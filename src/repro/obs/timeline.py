@@ -1,0 +1,172 @@
+"""Slot-utilization timelines and per-port duty cycles from trace events.
+
+These reductions answer the questions the paper's Figure-4 experiments keep
+raising: *which TDM slots actually carried data*, *how busy was each source
+port*, and *how long did a raised request wire wait before the SL array
+granted it a connection*.  They operate purely on recorded
+:class:`~repro.sim.trace.TraceEvent` streams, so they work on live tracers
+and on events re-read from a JSONL export alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..sim.trace import TraceEvent
+from .events import TRANSFER_KINDS, Kind
+
+__all__ = [
+    "SlotStats",
+    "PortStats",
+    "slot_occupancy",
+    "port_duty_cycle",
+    "request_latencies",
+    "utilization_report",
+]
+
+
+@dataclass(slots=True)
+class SlotStats:
+    """Aggregate activity of one TDM slot across all its periods."""
+
+    slot: int
+    periods: int = 0
+    active_periods: int = 0
+    conns: int = 0
+    bytes: int = 0
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of this slot's periods that moved at least one byte."""
+        return self.active_periods / self.periods if self.periods else 0.0
+
+
+@dataclass(slots=True)
+class PortStats:
+    """Transfer activity attributed to one source port."""
+
+    port: int
+    transfers: int = 0
+    bytes: int = 0
+    first_ps: int = 0
+    last_ps: int = 0
+    _buckets: set = field(default_factory=set, repr=False)
+    duty_cycle: float = 0.0
+
+
+def slot_occupancy(events: Iterable[TraceEvent]) -> dict[int, SlotStats]:
+    """Per-slot occupancy from ``slot-transfer`` events (TDM schemes only).
+
+    Each ``slot-transfer`` event is one period of one slot; a period is
+    *active* when it moved bytes.  Slots the fabric never clocked do not
+    appear.
+    """
+    slots: dict[int, SlotStats] = {}
+    for ev in events:
+        if ev.kind != Kind.SLOT_TRANSFER:
+            continue
+        s = slots.get(ev.payload["slot"])
+        if s is None:
+            s = slots[ev.payload["slot"]] = SlotStats(ev.payload["slot"])
+        s.periods += 1
+        moved = ev.payload.get("bytes", 0)
+        if moved:
+            s.active_periods += 1
+            s.bytes += moved
+        s.conns += ev.payload.get("conns", 0)
+    return slots
+
+
+def port_duty_cycle(
+    events: Iterable[TraceEvent], period_ps: int
+) -> dict[int, PortStats]:
+    """Per-source-port duty cycle over the traced span.
+
+    Time is bucketed into ``period_ps`` windows (use the scheme's slot
+    period, or a flit time for wormhole); a port's duty cycle is the
+    fraction of buckets in the traced span during which it sourced at
+    least one transfer event (:data:`~repro.obs.events.TRANSFER_KINDS`).
+    """
+    if period_ps <= 0:
+        raise ValueError(f"period_ps must be positive, got {period_ps}")
+    ports: dict[int, PortStats] = {}
+    span_lo: int | None = None
+    span_hi = 0
+    for ev in events:
+        if ev.kind not in TRANSFER_KINDS:
+            continue
+        src = ev.payload.get("src")
+        if src is None:
+            continue
+        p = ports.get(src)
+        if p is None:
+            p = ports[src] = PortStats(src, first_ps=ev.time_ps, last_ps=ev.time_ps)
+        p.transfers += 1
+        p.bytes += ev.payload.get("bytes", 0)
+        p.first_ps = min(p.first_ps, ev.time_ps)
+        p.last_ps = max(p.last_ps, ev.time_ps)
+        p._buckets.add(ev.time_ps // period_ps)
+        span_lo = ev.time_ps if span_lo is None else min(span_lo, ev.time_ps)
+        span_hi = max(span_hi, ev.time_ps)
+    if span_lo is not None:
+        total_buckets = span_hi // period_ps - span_lo // period_ps + 1
+        for p in ports.values():
+            p.duty_cycle = len(p._buckets) / total_buckets
+    return ports
+
+
+def request_latencies(events: Iterable[TraceEvent]) -> list[int]:
+    """Request-wire-to-grant latencies, in picoseconds.
+
+    Pairs each ``req-rise`` with the first subsequent ``conn-establish``
+    for the same (src, dst); re-rises while a request is already pending
+    keep the original timestamp (the wire stayed high the whole time).
+    """
+    pending: dict[tuple, int] = {}
+    out: list[int] = []
+    for ev in events:
+        key = (ev.payload.get("src"), ev.payload.get("dst"))
+        if ev.kind == Kind.REQ_RISE:
+            pending.setdefault(key, ev.time_ps)
+        elif ev.kind == Kind.CONN_ESTABLISH:
+            raised = pending.pop(key, None)
+            if raised is not None:
+                out.append(ev.time_ps - raised)
+        elif ev.kind == Kind.REQ_DROP:
+            pending.pop(key, None)
+    return out
+
+
+def utilization_report(
+    events: Iterable[TraceEvent], period_ps: int, label: str = "run"
+) -> str:
+    """Human-readable utilization summary for the CLI and benchmarks."""
+    events = list(events)
+    lines = [f"=== utilization: {label} ==="]
+    slots = slot_occupancy(events)
+    if slots:
+        lines.append("slot  periods  active  occupancy     bytes")
+        for s in sorted(slots.values(), key=lambda s: s.slot):
+            lines.append(
+                f"{s.slot:4d}  {s.periods:7d}  {s.active_periods:6d}"
+                f"  {s.occupancy:9.3f}  {s.bytes:8d}"
+            )
+    ports = port_duty_cycle(events, period_ps)
+    if ports:
+        lines.append("port  transfers     bytes  duty-cycle")
+        for p in sorted(ports.values(), key=lambda p: p.port):
+            lines.append(
+                f"{p.port:4d}  {p.transfers:9d}  {p.bytes:8d}  {p.duty_cycle:10.3f}"
+            )
+    lat = request_latencies(events)
+    if lat:
+        lat.sort()
+        mid = lat[len(lat) // 2]
+        lines.append(
+            f"request->grant latency: n={len(lat)} min={lat[0]} "
+            f"median={mid} max={lat[-1]} ps"
+        )
+    if len(lines) == 1:
+        lines.append("(no transfer activity traced)")
+    return "\n".join(lines)

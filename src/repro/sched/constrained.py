@@ -115,4 +115,6 @@ class ConstrainedScheduler(Scheduler):
                     self.counters.inc("blocked_by_fabric")
         self.counters.inc("passes")
         self.counters.inc("blocked", outcome.blocked)
+        if self.tracer.enabled:
+            self._trace_pass(slot, outcome)
         return SchedulerPass(slot, outcome)

@@ -27,6 +27,7 @@ from ..fabric.config import ConfigMatrix
 from ..fabric.registers import ConfigRegisterFile
 from ..params import SystemParams
 from ..sim.stats import Counter
+from ..sim.trace import NULL_TRACER
 from .presched import compute_l
 from .priority import FixedPriority, RotationPolicy
 from .slarray import PassOutcome, wavefront_sparse
@@ -72,6 +73,11 @@ class Scheduler:
         self.dead_cells: np.ndarray | None = None
         self._sl_cursor = 0
         self.counters = Counter()
+        #: observability hooks — the owning network model assigns both so
+        #: passes are traced with simulation timestamps (subclasses keep
+        #: their constructors unchanged)
+        self.tracer = NULL_TRACER
+        self.clock = lambda: 0
 
     # -- request plane ---------------------------------------------------------
 
@@ -160,6 +166,10 @@ class Scheduler:
             if not cfg.input_busy()[u] and not cfg.output_busy()[v]:
                 self.registers.establish(slot, u, v)
                 self.counters.inc("mgmt_establishes")
+                if self.tracer.enabled:
+                    self.tracer.record(
+                        self.clock(), "conn-establish", src=u, dst=v, slot=slot, via="mgmt"
+                    )
                 return slot
         return None
 
@@ -217,7 +227,28 @@ class Scheduler:
             self.counters.inc("establishes" if t.establish else "releases")
         self.counters.inc("passes")
         self.counters.inc("blocked", outcome.blocked)
+        if self.tracer.enabled:
+            self._trace_pass(slot, outcome)
         return SchedulerPass(slot, outcome)
+
+    def _trace_pass(self, slot: int, outcome: PassOutcome) -> None:
+        """Record one SL pass and its per-connection toggles."""
+        now = self.clock()
+        self.tracer.record(
+            now,
+            "sl-pass",
+            slot=slot,
+            toggles=len(outcome.toggles),
+            blocked=outcome.blocked,
+        )
+        for t in outcome.toggles:
+            self.tracer.record(
+                now,
+                "conn-establish" if t.establish else "conn-release",
+                src=t.u,
+                dst=t.v,
+                slot=slot,
+            )
 
     # -- convenience ---------------------------------------------------------------
 

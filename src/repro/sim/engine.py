@@ -10,7 +10,9 @@ reproducing the paper's cycle-accurate results:
   is bit-for-bit repeatable;
 * **cancellation** — periodic processes (slot clocks, SL clocks) and
   time-out predictors need to cancel pending events cheaply; cancelled
-  events stay in the heap but are skipped when popped.
+  events stay in the heap and are skipped when popped, but the heap is
+  lazily compacted whenever cancelled entries outnumber live ones, so
+  long runs with heavy cancellation keep bounded memory.
 
 Components register callbacks rather than subclassing anything; the network
 models in :mod:`repro.networks` drive all their state machines through one
@@ -56,21 +58,19 @@ class Event:
     seq: int
     fn: Callable[..., Any] | None
     args: tuple
+    owner: "Simulator | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from running; safe to call multiple times."""
+        if self.fn is None:
+            return
         self.fn = None
+        if self.owner is not None:
+            self.owner._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
         return self.fn is None
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time,
-            other.priority,
-            other.seq,
-        )
 
 
 @dataclass
@@ -89,8 +89,9 @@ class Simulator:
 
     Heap entries are plain ``(time, priority, seq, event)`` tuples so that
     ``heapq`` compares them in C: the unique ``seq`` guarantees the tuple
-    comparison never falls through to the Event object.  (Profiling showed
-    Python-level ``Event.__lt__`` dominating worm-heavy simulations.)
+    comparison never falls through to the Event object, which therefore
+    needs no ``__lt__`` at all.  (Profiling showed Python-level ordering
+    dominating worm-heavy simulations.)
     """
 
     now: int = 0
@@ -98,6 +99,14 @@ class Simulator:
     _seq: int = 0
     _stopped: bool = False
     events_executed: int = 0
+    #: total live events ever cancelled via :meth:`Event.cancel`
+    events_cancelled: int = 0
+    #: deepest the heap has ever been (live + cancelled entries)
+    heap_high_water: int = 0
+    #: cumulative wall-clock seconds spent inside :meth:`run`
+    run_wall_s: float = 0.0
+    #: cancelled events currently sitting in the heap (lazy-deletion debt)
+    _dead_in_heap: int = 0
 
     def schedule(
         self,
@@ -123,9 +132,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time_ps} ps, current time is {self.now} ps"
             )
-        ev = Event(time_ps, priority, self._seq, fn, args)
+        ev = Event(time_ps, priority, self._seq, fn, args, self)
         heapq.heappush(self._heap, (time_ps, priority, self._seq, ev))
         self._seq += 1
+        if len(self._heap) > self.heap_high_water:
+            self.heap_high_water = len(self._heap)
         return ev
 
     def stop(self) -> None:
@@ -136,7 +147,32 @@ class Simulator:
         """Time of the next non-cancelled event, or None if the heap is empty."""
         while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
+            self._dead_in_heap -= 1
         return self._heap[0][0] if self._heap else None
+
+    #: heap sizes below this are not worth compacting
+    _COMPACT_FLOOR = 64
+
+    def _note_cancelled(self) -> None:
+        """A live scheduled event was cancelled (called by Event.cancel).
+
+        Cancelled entries are skipped lazily at pop time; once they make up
+        more than half the heap the whole heap is rebuilt without them, so
+        timeout-predictor-heavy runs cannot grow memory without bound.
+        """
+        self.events_cancelled += 1
+        self._dead_in_heap += 1
+        if (
+            self._dead_in_heap * 2 > len(self._heap)
+            and len(self._heap) > self._COMPACT_FLOOR
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap keeping only live events."""
+        self._heap = [entry for entry in self._heap if entry[3].fn is not None]
+        heapq.heapify(self._heap)
+        self._dead_in_heap = 0
 
     #: events between wall-clock watchdog checks (a power of two so the
     #: test ``executed & MASK`` compiles to one AND per event)
@@ -167,49 +203,66 @@ class Simulator:
         """
         self._stopped = False
         executed = 0
+        wall_start = time.monotonic()
         deadline = (
-            time.monotonic() + max_wall_s if max_wall_s is not None else None
+            wall_start + max_wall_s if max_wall_s is not None else None
         )
         stride = self._WATCHDOG_STRIDE - 1
-        while self._heap and not self._stopped:
-            entry = heapq.heappop(self._heap)
-            ev = entry[3]
-            if ev.cancelled:
-                continue
-            if until is not None and ev.time > until:
-                heapq.heappush(self._heap, entry)
-                self.now = until
-                break
-            if ev.time < self.now:  # pragma: no cover - heap guarantees order
-                raise SimulationError("event heap yielded a past event")
-            self.now = ev.time
-            fn, args = ev.fn, ev.args
-            ev.cancel()  # guard against re-execution through stale references
-            assert fn is not None
-            fn(*args)
-            executed += 1
-            self.events_executed += 1
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; likely a runaway loop"
-                )
-            if (
-                deadline is not None
-                and (executed & stride) == 0
-                and time.monotonic() > deadline
-            ):
-                raise SimulationError(
-                    f"wall-clock watchdog tripped after {max_wall_s} s: "
-                    f"sim time {self.now} ps, {executed} events this run "
-                    f"({self.events_executed} total), {len(self._heap)} queued"
-                )
+        try:
+            while self._heap and not self._stopped:
+                entry = heapq.heappop(self._heap)
+                ev = entry[3]
+                if ev.fn is None:
+                    self._dead_in_heap -= 1
+                    continue
+                if until is not None and ev.time > until:
+                    heapq.heappush(self._heap, entry)
+                    self.now = until
+                    break
+                if ev.time < self.now:  # pragma: no cover - heap guarantees order
+                    raise SimulationError("event heap yielded a past event")
+                self.now = ev.time
+                fn, args = ev.fn, ev.args
+                # guard against re-execution through stale references; not
+                # cancel() — the event has left the heap and must not count
+                # against the lazy-deletion debt
+                ev.fn = None
+                fn(*args)
+                executed += 1
+                self.events_executed += 1
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a runaway loop"
+                    )
+                if (
+                    deadline is not None
+                    and (executed & stride) == 0
+                    and time.monotonic() > deadline
+                ):
+                    raise SimulationError(
+                        f"wall-clock watchdog tripped after {max_wall_s} s: "
+                        f"sim time {self.now} ps, {executed} events this run "
+                        f"({self.events_executed} total), {len(self._heap)} queued"
+                    )
+        finally:
+            self.run_wall_s += time.monotonic() - wall_start
         return self.now
 
-    def run_until_idle(self, idle_check: Callable[[], bool], poll_ps: int) -> int:
+    def run_until_idle(
+        self,
+        idle_check: Callable[[], bool],
+        poll_ps: int,
+        *,
+        until: int | None = None,
+        max_events: int | None = None,
+        max_wall_s: float | None = None,
+    ) -> int:
         """Run, polling ``idle_check`` every ``poll_ps``; stop when it is true.
 
         Useful for networks with periodic clocks that never drain the heap
-        on their own.
+        on their own.  The safety valves (``until``, ``max_events``,
+        ``max_wall_s``) are forwarded to :meth:`run` unchanged, so a
+        watchdog guards polled runs exactly like plain ones.
         """
         def probe() -> None:
             if idle_check():
@@ -218,9 +271,32 @@ class Simulator:
                 self.schedule(poll_ps, probe, priority=Priority.MONITOR)
 
         self.schedule(0, probe, priority=Priority.MONITOR)
-        return self.run()
+        return self.run(until=until, max_events=max_events, max_wall_s=max_wall_s)
 
     @property
     def pending(self) -> int:
-        """Number of (possibly cancelled) events still queued."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still queued."""
+        return len(self._heap) - self._dead_in_heap
+
+    def perf_counters(self) -> dict[str, float]:
+        """Event-loop performance counters for the observability layer.
+
+        ``events_per_sec`` covers time spent inside :meth:`run` only, so a
+        caller that interleaves analysis between excursions does not dilute
+        the kernel's own throughput number.
+        """
+        scheduled = self._seq
+        return {
+            "events_executed": self.events_executed,
+            "events_scheduled": scheduled,
+            "events_cancelled": self.events_cancelled,
+            "cancelled_ratio": (
+                self.events_cancelled / scheduled if scheduled else 0.0
+            ),
+            "heap_high_water": self.heap_high_water,
+            "pending": self.pending,
+            "run_wall_s": self.run_wall_s,
+            "events_per_sec": (
+                self.events_executed / self.run_wall_s if self.run_wall_s > 0 else 0.0
+            ),
+        }

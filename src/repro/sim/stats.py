@@ -113,11 +113,18 @@ class Histogram:
         return self._stats.mean
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile (bin upper edge).  ``q`` in [0, 1]."""
+        """Approximate quantile (bin upper edge).  ``q`` in [0, 1].
+
+        ``q = 0`` returns the exact observed minimum: ``seen >= target`` is
+        vacuously true at target 0, which would otherwise report the first
+        bin's upper edge even when that bin is empty.
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0,1], got {q}")
         if self.count == 0:
             return 0.0
+        if q == 0.0:
+            return self._stats.minimum
         target = q * self.count
         seen = 0
         for i, c in enumerate(self.counts):

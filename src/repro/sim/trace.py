@@ -1,12 +1,17 @@
 """Structured event tracing.
 
 A :class:`Tracer` records tuples of ``(time_ps, kind, payload)`` into a
-bounded ring buffer.  Tracing is off by default — the network models call
-``tracer.record`` unconditionally, but a disabled tracer short-circuits to a
-no-op, so the cost in the hot path is one attribute check.
+bounded **ring buffer**: when the buffer is full the *oldest* event is
+overwritten by the newest and ``dropped`` counts each overwrite, so after a
+long run the buffer holds the trailing window of the run and ``dropped``
+says how much history was lost.  Tracing is off by default — instrumentation
+sites guard on :attr:`Tracer.enabled` before building payloads, so a
+disabled tracer costs one attribute check and a branch in the hot path.
 
-Traces exist for debugging and for the worked examples; experiments never
-depend on them.
+Event kinds are free-form strings at this layer; the typed catalog the
+instrumentation points actually use lives in :mod:`repro.obs.events`, and
+the exporters in :mod:`repro.obs.exporters` turn recorded events into
+JSONL, CSV, or Chrome/Perfetto timelines.
 """
 
 from __future__ import annotations
@@ -30,12 +35,22 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded in-memory trace recorder."""
+    """Bounded in-memory ring-buffer trace recorder.
+
+    The buffer keeps the most recent ``capacity`` events; recording into a
+    full buffer overwrites the oldest event and increments :attr:`dropped`.
+    :attr:`kind_counts` counts every event ever recorded (including ones
+    later overwritten), so exporters and tests can check event conservation
+    against run counters even when the window wrapped.
+    """
 
     def __init__(self, capacity: int = 65536, enabled: bool = True) -> None:
         self.enabled = enabled
         self._buf: deque[TraceEvent] = deque(maxlen=capacity)
+        #: events overwritten because the ring buffer was full
         self.dropped = 0
+        #: per-kind totals over the whole run (overwritten events included)
+        self.kind_counts: dict[str, int] = {}
 
     def record(self, time_ps: int, kind: str, **payload: Any) -> None:
         if not self.enabled:
@@ -43,6 +58,8 @@ class Tracer:
         if len(self._buf) == self._buf.maxlen:
             self.dropped += 1
         self._buf.append(TraceEvent(time_ps, kind, payload))
+        counts = self.kind_counts
+        counts[kind] = counts.get(kind, 0) + 1
 
     def events(self, kind: str | None = None) -> Iterator[TraceEvent]:
         """Iterate recorded events, optionally filtered by kind."""
@@ -50,9 +67,17 @@ class Tracer:
             if kind is None or ev.kind == kind:
                 yield ev
 
+    def summary(self) -> dict[str, int]:
+        """Per-kind totals plus buffer statistics, for quick inspection."""
+        out = dict(sorted(self.kind_counts.items()))
+        out["_retained"] = len(self._buf)
+        out["_dropped"] = self.dropped
+        return out
+
     def clear(self) -> None:
         self._buf.clear()
         self.dropped = 0
+        self.kind_counts = {}
 
     def __len__(self) -> int:
         return len(self._buf)

@@ -1,0 +1,50 @@
+"""Profiling harness: perf-counter formatting and the cProfile wrapper."""
+
+from __future__ import annotations
+
+from repro.obs import ProfileReport, format_perf, profile_run
+from repro.sim.engine import Simulator
+
+
+class TestFormatPerf:
+    def test_aligned_ints_and_floats(self):
+        text = format_perf({"events_executed": 1234, "cancelled_ratio": 0.25})
+        lines = text.splitlines()
+        assert lines[0].endswith("1,234")
+        assert lines[1].endswith("0.250")
+
+
+class TestProfileRun:
+    def test_returns_result_and_wall_time(self):
+        result, report = profile_run(lambda: 42, label="answer")
+        assert result == 42
+        assert report.label == "answer"
+        assert report.wall_s >= 0.0
+        assert report.hotspots == ""
+
+    def test_cprofile_attributes_hotspots(self):
+        def busy():
+            sim = Simulator()
+            for i in range(200):
+                sim.schedule(i * 10, lambda: None)
+            sim.run()
+            return sim.events_executed
+
+        result, report = profile_run(busy, label="sim", with_cprofile=True)
+        assert result == 200
+        assert "cumulative" in report.hotspots
+        assert "run" in report.hotspots
+
+    def test_format_includes_perf_counters(self):
+        sim = Simulator()
+        sim.schedule(0, lambda: None)
+        sim.run()
+        _, report = profile_run(lambda: None, label="x")
+        report.perf.update(sim.perf_counters())
+        text = report.format()
+        assert "profile: x" in text
+        assert "events_executed" in text
+
+    def test_report_without_extras(self):
+        text = ProfileReport("bare", wall_s=0.5).format()
+        assert text == "=== profile: bare (wall 0.500 s) ==="

@@ -166,3 +166,106 @@ class TestRunControls:
         sim.schedule(0, worker)
         sim.run_until_idle(lambda: state["work"] == 0, poll_ps=5)
         assert state["work"] == 0
+
+    def test_run_until_idle_forwards_max_events(self):
+        # regression: the safety valves used to be silently ignored
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1, loop)
+
+        sim.schedule(1, loop)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(lambda: False, poll_ps=5, max_events=100)
+
+    def test_run_until_idle_forwards_until(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(10, hits.append, "early")
+        sim.schedule(100, hits.append, "late")
+        sim.run_until_idle(lambda: False, poll_ps=7, until=50)
+        assert hits == ["early"]
+        assert sim.now == 50
+
+    def test_run_until_idle_forwards_max_wall_s(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(1, loop)
+
+        sim.schedule(1, loop)
+        with pytest.raises(SimulationError, match="watchdog"):
+            sim.run_until_idle(lambda: False, poll_ps=5, max_wall_s=0.0)
+
+
+class TestHeapCompaction:
+    def test_pending_counts_live_events_only(self):
+        sim = Simulator()
+        events = [sim.schedule(10 + i, lambda: None) for i in range(10)]
+        for ev in events[:4]:
+            ev.cancel()
+        assert sim.pending == 6
+
+    def test_cancel_heavy_heap_is_compacted(self):
+        sim = Simulator()
+        events = [sim.schedule(10 + i, lambda: None) for i in range(1000)]
+        for ev in events[:800]:
+            ev.cancel()
+        # more than half the heap was cancelled debris: it must have shrunk
+        assert len(sim._heap) <= 400
+        assert sim.pending == 200
+        sim.run()
+        assert sim.events_executed == 200
+
+    def test_compaction_preserves_order(self):
+        sim = Simulator()
+        hits = []
+        keep = []
+        for i in range(200):
+            ev = sim.schedule(1000 - i, hits.append, 1000 - i)
+            if i % 2:
+                keep.append(ev)
+            else:
+                ev.cancel()
+        sim.run()
+        assert hits == sorted(hits)
+        assert len(hits) == 100
+
+    def test_executed_events_do_not_count_as_cancelled(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i, lambda: None)
+        sim.run()
+        assert sim.events_cancelled == 0
+        assert sim.pending == 0
+
+
+class TestPerfCounters:
+    def test_counters_after_run(self):
+        sim = Simulator()
+        for i in range(8):
+            sim.schedule(i, lambda: None)
+        ev = sim.schedule(100, lambda: None)
+        ev.cancel()
+        sim.run()
+        perf = sim.perf_counters()
+        assert perf["events_executed"] == 8
+        assert perf["events_scheduled"] == 9
+        assert perf["events_cancelled"] == 1
+        assert perf["heap_high_water"] == 9
+        assert perf["pending"] == 0
+        assert perf["run_wall_s"] >= 0.0
+        assert 0.0 < perf["cancelled_ratio"] < 1.0
+
+    def test_events_per_sec_positive_after_work(self):
+        sim = Simulator()
+        state = {"n": 0}
+
+        def tick():
+            state["n"] += 1
+            if state["n"] < 1000:
+                sim.schedule(1, tick)
+
+        sim.schedule(0, tick)
+        sim.run()
+        assert sim.perf_counters()["events_per_sec"] > 0

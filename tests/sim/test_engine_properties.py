@@ -71,13 +71,20 @@ def test_cancellation_removes_exactly_the_cancelled(specs, data):
     assert set(ran) == set(range(len(specs))) - to_cancel
 
 
-def test_event_ordering_operator():
-    a = Event(10, 0, 0, lambda: None, ())
-    b = Event(10, 0, 1, lambda: None, ())
-    c = Event(10, 1, 0, lambda: None, ())
-    d = Event(9, 99, 99, lambda: None, ())
+def test_heap_entry_ordering():
+    # heap entries are plain (time, priority, seq, event) tuples; the unique
+    # seq means the comparison never falls through to the Event object, so
+    # Event deliberately defines no ordering of its own
+    def entry(time, priority, seq):
+        return (time, priority, seq, Event(time, priority, seq, lambda: None, ()))
+
+    a = entry(10, 0, 0)
+    b = entry(10, 0, 1)
+    c = entry(10, 1, 2)
+    d = entry(9, 99, 3)
     assert a < b < c
     assert d < a
+    assert not hasattr(Event, "__lt__") or Event.__lt__ is object.__lt__
 
 
 def test_priority_constants_are_ordered():

@@ -116,6 +116,18 @@ class TestHistogram:
         with pytest.raises(ConfigurationError):
             h.quantile(1.5)
 
+    def test_quantile_zero_returns_observed_minimum(self):
+        # regression: with target 0, `seen >= target` was vacuously true in
+        # the very first bin, so q=0 reported bin_width even when samples
+        # lay far above it
+        h = Histogram(bin_width=1.0, n_bins=100)
+        h.add(42.5)
+        h.add(90.0)
+        assert h.quantile(0.0) == 42.5
+
+    def test_quantile_zero_empty_histogram(self):
+        assert Histogram(bin_width=1.0, n_bins=4).quantile(0.0) == 0.0
+
     def test_mean_tracked_exactly(self):
         h = Histogram(bin_width=100.0, n_bins=4)
         h.add(3.0)

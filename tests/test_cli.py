@@ -142,6 +142,67 @@ class TestLoadLatencyCommand:
             main(["--ports", "8", "faults", "--schemes", "bogus"])
 
 
+class TestTraceCommand:
+    def test_trace_parses(self):
+        args = build_parser().parse_args(["trace", "figure4"])
+        assert args.format == "chrome" and args.experiment == "figure4"
+
+    def test_trace_jsonl(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        rc = main(
+            ["--ports", "8", "trace", "scatter", "--schemes", "wormhole",
+             "--bytes", "64", "--format", "jsonl", "-o", str(out)]
+        )
+        assert rc == 0
+        assert "events traced" in capsys.readouterr().out
+        from repro.obs import Kind, from_jsonl
+
+        runs = from_jsonl(out)
+        assert list(runs) == ["wormhole"]
+        kinds = {ev.kind for ev in runs["wormhole"]}
+        assert Kind.MSG_INJECT in kinds and Kind.DELIVER in kinds
+
+    def test_trace_chrome_all_schemes(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        rc = main(
+            ["--ports", "8", "trace", "figure4", "--bytes", "64",
+             "-o", str(out), "--utilization"]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "4 processes" in text and "utilization:" in text
+        doc = json.loads(out.read_text())
+        procs = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert procs == {"wormhole", "circuit", "dynamic-tdm", "preload"}
+        # message spans exist for every scheme (one pid per process)
+        span_pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(span_pids) == 4
+
+    def test_trace_profile_prints_counters(self, tmp_path, capsys):
+        rc = main(
+            ["--ports", "8", "trace", "scatter", "--schemes", "circuit",
+             "--bytes", "64", "--format", "csv",
+             "-o", str(tmp_path / "t.csv"), "--profile"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "events_executed" in out and "cumulative" in out
+
+    def test_trace_unknown_scheme(self, tmp_path, capsys):
+        rc = main(
+            ["--ports", "8", "trace", "figure4", "--schemes", "bogus",
+             "-o", str(tmp_path / "t.json")]
+        )
+        assert rc == 2
+        assert "unknown scheme" in capsys.readouterr().out
+
+
 class TestReportCommand:
     def test_quick_report(self, capsys):
         rc = main(["--ports", "16", "report", "--quick"])
