@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.compiled.coloring import decompose
 from repro.experiments.common import measure
-from repro.networks.tdm import TdmNetwork
+from repro.networks.registry import RunSpec, build_network
 from repro.params import PAPER_PARAMS
 from repro.sched.presched import compute_l
 from repro.sim.engine import Simulator
@@ -59,7 +59,9 @@ def test_end_to_end_small_tdm_run(benchmark):
     def run():
         return measure(
             OrderedMeshPattern(16, 128, rounds=2),
-            TdmNetwork(params, k=4, mode="dynamic", injection_window=4),
+            build_network(
+                RunSpec("dynamic-tdm", params, k=4, injection_window=4)
+            ),
         )
 
     point = benchmark.pedantic(run, rounds=3, iterations=1)

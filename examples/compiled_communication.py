@@ -20,7 +20,7 @@ scheduling and under hybrid preload+dynamic and compares makespans.
 Run:  python examples/compiled_communication.py
 """
 
-from repro import PAPER_PARAMS, TdmNetwork
+from repro import PAPER_PARAMS, RunSpec, build_network
 from repro.compiled.patterns import StaticPattern
 from repro.compiled.phases import working_set_series
 from repro.metrics.efficiency import efficiency
@@ -71,21 +71,22 @@ def main() -> None:
                 phase.preload_configs = None
         return phases
 
-    for label, factory, compile_filter in (
+    for label, spec, compile_filter in (
         (
             "dynamic TDM (K=6)",
-            lambda: TdmNetwork(params, k=6, mode="dynamic", injection_window=4),
+            RunSpec("dynamic-tdm", params, k=6, injection_window=4),
             False,
         ),
         (
             "hybrid 4-preload/2-dynamic",
-            lambda: TdmNetwork(
+            RunSpec(
+                "hybrid",
                 params,
                 k=6,
-                mode="hybrid",
                 k_preload=4,
                 injection_window=4,
-                flush_on_phase=True,  # Section 3.3's compiler flush
+                # Section 3.3's compiler flush
+                options={"flush_on_phase": True},
             ),
             True,
         ),
@@ -93,7 +94,7 @@ def main() -> None:
         fresh = trace.phases(RngStreams(42))  # identical workload
         if compile_filter:
             fresh = compiler_pass(fresh, k_preload=4)
-        result = factory().run(fresh, pattern_name=trace.name)
+        result = build_network(spec).run(fresh, pattern_name=trace.name)
         eff = efficiency(result, fresh)
         print(
             f"{label:28s} makespan={result.makespan_ps / 1e6:8.1f} us"

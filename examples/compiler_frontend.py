@@ -21,7 +21,7 @@ schedule on the TDM network in hybrid mode.
 Run:  python examples/compiler_frontend.py
 """
 
-from repro import PAPER_PARAMS, TdmNetwork
+from repro import PAPER_PARAMS, build_network
 from repro.compiled.frontend import (
     Gather,
     Loop,
@@ -73,14 +73,9 @@ def main() -> None:
 
     print("\n=== execution ===")
     phases = schedule.to_traffic(size_bytes=128)
-    net = TdmNetwork(
-        params,
-        k=4,
-        mode="hybrid",
-        k_preload=2,
-        injection_window=4,
-        flush_on_phase=True,
-    )
+    # the schedule knows its own scheme: hybrid (it preloads 2 registers)
+    # with flush_on_phase honouring the compiler's flush directives
+    net = build_network(schedule.run_spec(params, 4, injection_window=4))
     result = net.run(phases, pattern_name="compiled-program")
     print(f"messages    : {len(result.records)}")
     print(f"makespan    : {result.makespan_ps / 1e6:.1f} us")

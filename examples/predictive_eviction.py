@@ -17,7 +17,7 @@ compares three eviction policies:
 Run:  python examples/predictive_eviction.py
 """
 
-from repro import PAPER_PARAMS, TdmNetwork
+from repro import PAPER_PARAMS, RunSpec, build_network
 from repro.metrics.latencies import summarize_latencies
 from repro.predict.counter import CounterPredictor
 from repro.predict.timeout import TimeoutPredictor
@@ -56,7 +56,15 @@ def main() -> None:
           f"{'establishes':>11s} {'evictions':>9s}")
     for label, predictor in policies.items():
         phase = bursty_phase(n, bursts=6, burst_len=4, gap_ps=gap)
-        net = TdmNetwork(params, k=2, mode="dynamic", predictor=predictor)
+        net = build_network(
+            RunSpec(
+                scheme="dynamic-tdm",
+                params=params,
+                k=2,
+                injection_window=None,
+                options={"predictor": predictor},
+            )
+        )
         result = net.run([phase], pattern_name="bursty-ring")
         lat = summarize_latencies(result)
         print(

@@ -8,7 +8,7 @@ degree 4), and prints efficiency and latency statistics.
 Run:  python examples/quickstart.py
 """
 
-from repro import PAPER_PARAMS, ScatterPattern, TdmNetwork, measure
+from repro import PAPER_PARAMS, RunSpec, ScatterPattern, build_network, measure
 from repro.metrics.latencies import summarize_latencies
 from repro.networks.base import RunResult
 from repro.sim.rng import RngStreams
@@ -24,7 +24,8 @@ def main() -> None:
 
     # The paper's switch: TDM crossbar, K=4 configuration registers,
     # connections established dynamically by the SL-array scheduler.
-    network = TdmNetwork(params, k=4, mode="dynamic", injection_window=4)
+    spec = RunSpec(scheme="dynamic-tdm", params=params, k=4, injection_window=4)
+    network = build_network(spec)
 
     point = measure(pattern, network)
     print(f"pattern        : {point.pattern} ({point.total_bytes} bytes)")
@@ -36,9 +37,7 @@ def main() -> None:
 
     # For latency statistics, run again keeping the delivery records.
     phases = pattern.phases(RngStreams(0))
-    result: RunResult = TdmNetwork(
-        params, k=4, mode="dynamic", injection_window=4
-    ).run(phases, pattern_name=pattern.name)
+    result: RunResult = build_network(spec).run(phases, pattern_name=pattern.name)
     print(f"latency        : {summarize_latencies(result)}")
 
 

@@ -16,7 +16,7 @@ Run:  python examples/trace_replay.py
 import tempfile
 from pathlib import Path
 
-from repro import PAPER_PARAMS, TdmNetwork, WormholeNetwork
+from repro import PAPER_PARAMS, RunSpec, build_network
 from repro.metrics.efficiency import efficiency
 from repro.metrics.latencies import summarize_latencies
 from repro.metrics.serialization import load_result, save_result
@@ -40,12 +40,12 @@ def main() -> None:
     print(f"saved {n_msgs} messages in {len(phases)} phases -> {trace_path}")
 
     # 3. replay through two schemes (identical workload by construction)
-    for label, factory in (
-        ("tdm-dynamic", lambda: TdmNetwork(params, k=4, mode="dynamic")),
-        ("wormhole", lambda: WormholeNetwork(params)),
+    for label, spec in (
+        ("tdm-dynamic", RunSpec("dynamic-tdm", params, k=4, injection_window=None)),
+        ("wormhole", RunSpec("wormhole", params)),
     ):
         replay = TraceFilePattern(N, trace_path).phases(RngStreams(0))
-        result = factory().run(replay, pattern_name="replayed-trace")
+        result = build_network(spec).run(replay, pattern_name="replayed-trace")
         eff = efficiency(result, replay)
         out = workdir / f"{label}.json"
         save_result(result, out)  # 4. archive

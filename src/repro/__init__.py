@@ -54,8 +54,12 @@ from .networks import (
     CircuitNetwork,
     IdealNetwork,
     RunResult,
+    RunSpec,
     TdmNetwork,
     WormholeNetwork,
+    build_network,
+    run_scheme,
+    scheme_names,
 )
 from .params import PAPER_PARAMS, SystemParams
 from .predict import CounterPredictor, NullPredictor, TimeoutPredictor
@@ -95,8 +99,12 @@ __all__ = [
     "CircuitNetwork",
     "IdealNetwork",
     "RunResult",
+    "RunSpec",
     "TdmNetwork",
     "WormholeNetwork",
+    "build_network",
+    "run_scheme",
+    "scheme_names",
     "PAPER_PARAMS",
     "SystemParams",
     "CounterPredictor",

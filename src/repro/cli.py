@@ -9,6 +9,7 @@ Regenerates any paper artifact from the shell::
     python -m repro faults --rates 0,1,4 --schemes dynamic-tdm,preload
     python -m repro multihop --bytes 512 --hops 1,2,4,8
     python -m repro trace figure4 --format chrome -o fig4.json
+    python -m repro schemes
 
 ``--ports`` scales the system (the paper uses 128; smaller is faster),
 ``--seed`` changes the workload realisation, ``--csv`` switches figure
@@ -72,6 +73,42 @@ def _csv_list(text: str) -> list[str]:
 
 def _cmd_table3(args: argparse.Namespace) -> int:
     print(format_table3())
+    return 0
+
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    from .networks.registry import get_scheme, scheme_names
+
+    rows = []
+    for name in scheme_names():
+        info = get_scheme(name)
+        caps = info.capabilities
+        feats = []
+        if caps.tdm_modes:
+            feats.append("tdm(" + ",".join(caps.tdm_modes) + ")")
+        if caps.request_plane:
+            feats.append("request-plane")
+        if caps.fault_recovery:
+            feats.append("fault-recovery")
+        if caps.injection_window:
+            feats.append("injection-window")
+        if caps.preload:
+            feats.append("preload")
+        rows.append(
+            [
+                name,
+                ", ".join(info.aliases) if info.aliases else "-",
+                " ".join(feats) if feats else "-",
+                caps.description,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "aliases", "capabilities", "description"],
+            rows,
+            title="Registered switching schemes",
+        )
+    )
     return 0
 
 
@@ -279,6 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("table3", help="scheduler latency vs system size").set_defaults(
         fn=_cmd_table3
     )
+
+    sub.add_parser(
+        "schemes", help="list registered switching schemes and their capabilities"
+    ).set_defaults(fn=_cmd_schemes)
 
     f4 = sub.add_parser("figure4", help="pattern x scheme x size efficiency sweep")
     f4.add_argument("--sizes", help="comma-separated byte sizes (default: paper sweep)")

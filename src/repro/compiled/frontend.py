@@ -15,8 +15,10 @@ tree of :class:`Region` nodes; leaves are communication statements
 compose them.  :func:`compile_program` walks the tree and produces a
 :class:`CompiledSchedule`: per phase, the static connection set, the
 batched preload program sized to the register budget, whether a flush is
-needed at entry, and the messages the phase will send — directly runnable
-on :class:`repro.networks.tdm.TdmNetwork`.
+needed at entry, and the messages the phase will send.
+:meth:`CompiledSchedule.run_spec` bridges the result to the scheme
+registry (:mod:`repro.networks.registry`), and
+:meth:`CompiledSchedule.run` executes it end to end.
 
 The point is not to parse a real language but to reproduce the *analysis*:
 working sets derive from the operations' index maps, loops multiply trip
@@ -28,6 +30,12 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from ..networks.base import RunResult
+    from ..networks.registry import RunSpec
+    from ..params import SystemParams
 
 from ..errors import ConfigurationError
 from ..traffic.base import TrafficPhase, assign_seq, mesh_dims
@@ -257,6 +265,56 @@ class CompiledSchedule:
     def flush_points(self) -> list[int]:
         """Indices of phases that begin with a flush directive."""
         return [i for i, p in enumerate(self.phases) if p.flush_on_entry]
+
+    def run_spec(
+        self,
+        params: SystemParams,
+        k: int,
+        *,
+        injection_window: int | None = None,
+        **options: Any,
+    ) -> RunSpec:
+        """A scheme-registry spec that executes this schedule.
+
+        Resolves to ``hybrid`` when the compiler reserved preload
+        registers and plain ``dynamic-tdm`` otherwise, and honours the
+        compiler's flush directives by enabling ``flush_on_phase``
+        whenever any phase begins with one (callers can override it
+        through ``options``).
+        """
+        # imported here: networks.tdm imports this package at module load
+        from ..networks.registry import RunSpec
+
+        opts = dict(options)
+        if self.flush_points:
+            opts.setdefault("flush_on_phase", True)
+        return RunSpec(
+            scheme="hybrid" if self.k_preload else "dynamic-tdm",
+            params=params,
+            k=k,
+            k_preload=self.k_preload or None,
+            injection_window=injection_window,
+            options=opts,
+        )
+
+    def run(
+        self,
+        params: SystemParams,
+        k: int,
+        size_bytes: int,
+        *,
+        pattern_name: str = "compiled-program",
+        injection_window: int | None = None,
+        **options: Any,
+    ) -> RunResult:
+        """Materialise the traffic and run it through the registry."""
+        from ..networks.registry import build_network
+
+        spec = self.run_spec(
+            params, k, injection_window=injection_window, **options
+        )
+        phases = self.to_traffic(size_bytes)
+        return build_network(spec).run(phases, pattern_name=pattern_name)
 
 
 def compile_program(

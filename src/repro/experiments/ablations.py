@@ -36,7 +36,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..networks.tdm import TdmNetwork
+from ..networks.base import BaseNetwork
+from ..networks.registry import RunSpec, build_network
 from ..params import PAPER_PARAMS, SystemParams
 from ..predict.base import Predictor
 from ..predict.counter import CounterPredictor
@@ -66,6 +67,34 @@ __all__ = [
 ]
 
 
+def _net(
+    scheme: str,
+    params: SystemParams,
+    *,
+    k: int = 4,
+    k_preload: int | None = None,
+    injection_window: int | None = None,
+    **options,
+) -> BaseNetwork:
+    """Build one ablation network through the scheme registry.
+
+    Ablations sweep scheme-specific knobs (predictors, SL units, fabric
+    constraints, ...), which ride in ``RunSpec.options``.  The injection
+    window defaults to None (unbounded) here — each ablation states its
+    window explicitly because it is part of what is being measured.
+    """
+    return build_network(
+        RunSpec(
+            scheme=scheme,
+            params=params,
+            k=k,
+            k_preload=k_preload,
+            injection_window=injection_window,
+            options=options,
+        )
+    )
+
+
 def ablation_sl_units(
     params: SystemParams = PAPER_PARAMS,
     units: tuple[int, ...] = (1, 2, 4),
@@ -75,8 +104,8 @@ def ablation_sl_units(
     """A1: dynamic-TDM all-to-all efficiency vs number of SL units."""
     out: dict[int, float] = {}
     for n_units in units:
-        net = TdmNetwork(
-            params, k=4, mode="dynamic", n_sl_units=n_units, injection_window=4
+        net = _net(
+            "dynamic-tdm", params, k=4, injection_window=4, n_sl_units=n_units
         )
         point = measure(AllToAllPattern(params.n_ports, size_bytes), net, seed=seed)
         out[n_units] = point.efficiency
@@ -124,7 +153,7 @@ def ablation_multislot(
     """
     background = size_bytes  # keep the background busy for the whole run
 
-    def elephant_done(network: TdmNetwork) -> float:
+    def elephant_done(network: BaseNetwork) -> float:
         pattern = _ElephantPattern(params.n_ports, size_bytes, background)
         phases = pattern.phases(RngStreams(seed))
         result = network.run(phases, pattern_name=pattern.name)
@@ -133,9 +162,9 @@ def ablation_multislot(
                 return r.done_ps / 1000.0
         raise AssertionError("elephant message was not delivered")
 
-    base_ns = elephant_done(TdmNetwork(params, k=4, mode="dynamic"))
+    base_ns = elephant_done(_net("dynamic-tdm", params, k=4))
     boosted_ns = elephant_done(
-        TdmNetwork(params, k=4, mode="dynamic", multislot_threshold_bytes=1024)
+        _net("dynamic-tdm", params, k=4, multislot_threshold_bytes=1024)
     )
     return {
         "elephant_ns": base_ns,
@@ -155,10 +184,8 @@ def ablation_predictors(
     Injection window 1 makes queues drain between uses, so cached
     connections only survive if a predictor latches them.
     """
-    def mk(pred: Predictor | None) -> TdmNetwork:
-        return TdmNetwork(
-            params, k=4, mode="dynamic", predictor=pred, injection_window=1
-        )
+    def mk(pred: Predictor | None) -> BaseNetwork:
+        return _net("dynamic-tdm", params, k=4, injection_window=1, predictor=pred)
 
     pattern = lambda: OrderedMeshPattern(params.n_ports, size_bytes, rounds=rounds)
     out: dict[str, float] = {}
@@ -187,7 +214,7 @@ def ablation_guard_band(
     out: dict[float, float] = {}
     for frac in fractions:
         p = params.with_overrides(guard_band_frac=frac)
-        net = TdmNetwork(p, k=4, mode="preload", injection_window=4)
+        net = _net("preload", p, k=4, injection_window=4)
         point = measure(
             OrderedMeshPattern(p.n_ports, size_bytes, rounds=4), net, seed=seed
         )
@@ -224,8 +251,8 @@ def ablation_rotation_fairness(
         bound = run_lower_bound_ps(phases, params)
         # deep queues (no injection window) expose the policy: the full
         # request matrix competes in every wavefront
-        net = TdmNetwork(
-            params, k=4, mode="dynamic", rotation=rotation, injection_window=None
+        net = _net(
+            "dynamic-tdm", params, k=4, injection_window=None, rotation=rotation
         )
         result = net.run(phases, pattern_name="all-to-all")
         total = np.zeros(params.n_ports, dtype=np.float64)
@@ -250,10 +277,10 @@ def ablation_idle_slot_skipping(
         pattern = HybridPattern(
             params.n_ports, 64, determinism=determinism, messages_per_node=32
         )
-        net = TdmNetwork(
+        net = _net(
+            "hybrid",
             params,
             k=3,
-            mode="hybrid",
             k_preload=1,
             injection_window=4,
             skip_idle_slots=skip,
@@ -285,7 +312,7 @@ def ablation_multiplexing_degree(
     area = SchedulerAreaModel()
     out: dict[int, dict[str, float]] = {}
     for k in degrees:
-        net = TdmNetwork(params, k=k, mode="dynamic", injection_window=4)
+        net = _net("dynamic-tdm", params, k=k, injection_window=4)
         point = measure(
             RandomMeshPattern(params.n_ports, size_bytes, rounds=rounds),
             net,
@@ -325,16 +352,16 @@ def ablation_prefetching(
     ):
         base = measure(
             pattern_factory(),
-            TdmNetwork(params, k=4, mode="dynamic", injection_window=1),
+            _net("dynamic-tdm", params, k=4, injection_window=1),
             seed=seed,
         )
         prefetcher = MarkovPrefetcher(params.n_ports, hold_ps=us(2))
         pf = measure(
             pattern_factory(),
-            TdmNetwork(
+            _net(
+                "dynamic-tdm",
                 params,
                 k=4,
-                mode="dynamic",
                 injection_window=1,
                 prefetcher=prefetcher,
             ),
@@ -374,10 +401,10 @@ def ablation_fabrics(
         ("omega", OmegaNetwork(n)),
         ("fat-tree-4to1", FatTree(n, taper=4)),
     ):
-        net = TdmNetwork(
+        net = _net(
+            "dynamic-tdm",
             p,
             k=4,
-            mode="dynamic",
             injection_window=4,
             fabric_constraint=constraint,
         )
@@ -432,20 +459,20 @@ def ablation_cooperative_control(
             MarkovPrefetcher(n, hold_ps=us(2)) if use_prefetch else None
         )
         if mode == "hybrid":
-            net = TdmNetwork(
+            net = _net(
+                "hybrid",
                 params,
                 k=4,
-                mode="hybrid",
                 k_preload=2,
                 injection_window=1,
                 flush_on_phase=True,
                 prefetcher=prefetcher,
             )
         else:
-            net = TdmNetwork(
+            net = _net(
+                "dynamic-tdm",
                 params,
                 k=4,
-                mode="dynamic",
                 injection_window=1,
                 prefetcher=prefetcher,
             )
@@ -483,30 +510,29 @@ def ablation_injection_window(
     * all-to-all: dynamic TDM falls below wormhole for windows <= 4 and
       overtakes it with deep queues (the full-R-matrix upper bound).
     """
-    from ..networks.wormhole import WormholeNetwork
     from ..traffic.scatter import ScatterPattern
 
     out: dict[str, dict[str, float]] = {}
     worm_a2a = measure(
         AllToAllPattern(params.n_ports, size_bytes),
-        WormholeNetwork(params),
+        _net("wormhole", params),
         seed=seed,
     ).efficiency
     worm_scatter = measure(
         ScatterPattern(params.n_ports, size_bytes),
-        WormholeNetwork(params),
+        _net("wormhole", params),
         seed=seed,
     ).efficiency
     for window in windows:
         label = f"W={window if window is not None else 'inf'}"
         a2a = measure(
             AllToAllPattern(params.n_ports, size_bytes),
-            TdmNetwork(params, k=4, mode="dynamic", injection_window=window),
+            _net("dynamic-tdm", params, k=4, injection_window=window),
             seed=seed,
         ).efficiency
         scatter = measure(
             ScatterPattern(params.n_ports, size_bytes),
-            TdmNetwork(params, k=4, mode="dynamic", injection_window=window),
+            _net("dynamic-tdm", params, k=4, injection_window=window),
             seed=seed,
         ).efficiency
         out[label] = {

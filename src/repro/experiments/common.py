@@ -14,20 +14,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from ..faults.injector import FaultInjector
 from ..metrics.efficiency import efficiency_from_bound, run_lower_bound_ps
 from ..networks.base import BaseNetwork, RunResult
-from ..networks.circuit import CircuitNetwork
-from ..networks.tdm import TdmNetwork
-from ..networks.wormhole import WormholeNetwork
+from ..networks.registry import DEFAULT_INJECTION_WINDOW, RunSpec, build_network
 from ..params import SystemParams
 from ..sim.rng import RngStreams
+from ..sim.trace import Tracer
 from ..traffic.base import TrafficPattern
 
 __all__ = [
     "ExperimentPoint",
     "measure",
     "figure4_schemes",
+    "FIGURE4_SCHEMES",
     "DEFAULT_SEED",
+    "DEFAULT_INJECTION_WINDOW",
 ]
 
 DEFAULT_SEED = 20050404  # IPPS 2005 in Denver started April 4
@@ -68,10 +70,9 @@ def measure(
     )
 
 
-#: default per-NIC bound on outstanding non-blocking sends.  The paper's
-#: processors are sequential command-file generators; a window equal to the
-#: multiplexing degree (4) reproduces its narrated orderings (see DESIGN.md)
-DEFAULT_INJECTION_WINDOW = 4
+#: the scheme set Figure 4 compares (canonical registry names, in the
+#: paper's presentation order)
+FIGURE4_SCHEMES: tuple[str, ...] = ("wormhole", "circuit", "dynamic-tdm", "preload")
 
 
 def figure4_schemes(
@@ -81,27 +82,32 @@ def figure4_schemes(
 ) -> dict[str, Callable[..., BaseNetwork]]:
     """The four switching schemes Figure 4 compares, as fresh factories.
 
-    The TDM entries use multiplexing degree ``k`` (the paper uses 4) and
-    the given injection window.  Wormhole and circuit switching serve each
-    source's messages strictly in order, so the window does not apply to
-    them.  Each factory accepts an optional tracer, so ``repro trace``
-    can instrument the very networks the experiments measure.
+    Every factory resolves through the scheme registry
+    (:mod:`repro.networks.registry`), so the TDM defaults here and in the
+    fault campaigns cannot silently diverge.  The TDM entries use
+    multiplexing degree ``k`` (the paper uses 4) and the given injection
+    window; wormhole and circuit switching serve each source's messages
+    strictly in order, so the window does not apply to them.  Each factory
+    accepts an optional tracer (so ``repro trace`` can instrument the very
+    networks the experiments measure) and an optional fault injector (so
+    the fault campaigns reuse these exact configurations).
     """
-    return {
-        "wormhole": lambda tracer=None: WormholeNetwork(params, tracer=tracer),
-        "circuit": lambda tracer=None: CircuitNetwork(params, tracer=tracer),
-        "dynamic-tdm": lambda tracer=None: TdmNetwork(
-            params,
-            k=k,
-            mode="dynamic",
-            injection_window=injection_window,
-            tracer=tracer,
-        ),
-        "preload": lambda tracer=None: TdmNetwork(
-            params,
-            k=k,
-            mode="preload",
-            injection_window=injection_window,
-            tracer=tracer,
-        ),
-    }
+
+    def factory(scheme: str) -> Callable[..., BaseNetwork]:
+        def make(
+            tracer: Tracer | None = None, faults: FaultInjector | None = None
+        ) -> BaseNetwork:
+            return build_network(
+                RunSpec(
+                    scheme=scheme,
+                    params=params,
+                    k=k,
+                    injection_window=injection_window,
+                    tracer=tracer,
+                    faults=faults,
+                )
+            )
+
+        return make
+
+    return {scheme: factory(scheme) for scheme in FIGURE4_SCHEMES}

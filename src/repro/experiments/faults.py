@@ -24,6 +24,7 @@ capacity.  The injector's applied/skipped counters make this explicit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Sequence
 
 from ..faults.injector import FaultInjector
@@ -31,13 +32,10 @@ from ..faults.schedule import FaultSchedule
 from ..metrics.degradation import DegradationReport, degradation_report
 from ..metrics.report import format_csv, format_series
 from ..networks.base import BaseNetwork
-from ..networks.circuit import CircuitNetwork
-from ..networks.tdm import TdmNetwork
-from ..networks.wormhole import WormholeNetwork
 from ..params import PAPER_PARAMS, SystemParams
 from ..sim.rng import RngStreams
 from ..traffic.hybrid import HybridPattern
-from .common import DEFAULT_SEED
+from .common import DEFAULT_SEED, figure4_schemes
 
 __all__ = ["FAULT_RATES", "FaultPoint", "FaultsResult", "run_faults"]
 
@@ -107,18 +105,21 @@ class FaultsResult:
 def _scheme_factories(
     params: SystemParams, k: int, injection_window: int | None
 ) -> dict[str, Callable[[FaultInjector | None], BaseNetwork]]:
-    """Figure-4's four schemes, parameterised by an optional injector."""
+    """Figure-4's four schemes, parameterised by an optional injector.
+
+    Deliberately *the same* factories :func:`figure4_schemes` builds (both
+    resolve through the scheme registry), so the fault campaigns measure
+    exactly the networks Figure 4 measures — the TDM defaults cannot
+    silently diverge between the two experiments.
+    """
+    def bind(make: Callable[..., BaseNetwork], inj: FaultInjector | None) -> BaseNetwork:
+        return make(faults=inj)
+
     return {
-        "wormhole": lambda inj: WormholeNetwork(params, faults=inj),
-        "circuit": lambda inj: CircuitNetwork(params, faults=inj),
-        "dynamic-tdm": lambda inj: TdmNetwork(
-            params, k=k, mode="dynamic",
-            injection_window=injection_window, faults=inj,
-        ),
-        "preload": lambda inj: TdmNetwork(
-            params, k=k, mode="preload",
-            injection_window=injection_window, faults=inj,
-        ),
+        name: partial(bind, make)
+        for name, make in figure4_schemes(
+            params, k=k, injection_window=injection_window
+        ).items()
     }
 
 

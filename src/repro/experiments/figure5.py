@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from ..metrics.report import format_csv, format_series
-from ..networks.tdm import TdmNetwork
+from ..networks.registry import RunSpec, build_network
 from ..params import PAPER_PARAMS, SystemParams
 from ..traffic.hybrid import HybridPattern
 from .common import DEFAULT_SEED, ExperimentPoint, measure
@@ -84,21 +84,15 @@ def run_figure5(
                 messages_per_node=messages_per_node,
                 n_static=n_static,
             )
-            if k_preload == 0:
-                network = TdmNetwork(
-                    params,
+            network = build_network(
+                RunSpec(
+                    scheme="dynamic-tdm" if k_preload == 0 else "hybrid",
+                    params=params,
                     k=k_total,
-                    mode="dynamic",
+                    k_preload=k_preload or None,
                     injection_window=injection_window,
                 )
-            else:
-                network = TdmNetwork(
-                    params,
-                    k=k_total,
-                    mode="hybrid",
-                    k_preload=k_preload,
-                    injection_window=injection_window,
-                )
+            )
             point = measure(pattern, network, seed=seed)
             series.append(point.efficiency)
             result.points.append(point)

@@ -22,9 +22,7 @@ from typing import Sequence
 from ..metrics.latencies import summarize_latencies
 from ..metrics.report import format_csv, format_series
 from ..networks.base import BaseNetwork
-from ..networks.circuit import CircuitNetwork
-from ..networks.tdm import TdmNetwork
-from ..networks.wormhole import WormholeNetwork
+from ..networks.registry import RunSpec, build_network
 from ..params import PAPER_PARAMS, SystemParams
 from ..sim.rng import RngStreams
 from ..traffic.openloop import OpenLoopUniformPattern
@@ -67,13 +65,14 @@ def run_load_latency(
     seed: int = DEFAULT_SEED,
 ) -> LoadLatencyResult:
     """Sweep offered load for the three run-time schemes."""
-    factories: dict[str, type | object] = {
-        "wormhole": lambda: WormholeNetwork(params),
-        "circuit": lambda: CircuitNetwork(params),
-        "dynamic-tdm": lambda: TdmNetwork(params, k=k, mode="dynamic"),
+    # open-loop traffic needs unbounded injection (window=None): latency
+    # under offered load is measured from injection, not send admission
+    specs = {
+        scheme: RunSpec(scheme=scheme, params=params, k=k, injection_window=None)
+        for scheme in ("wormhole", "circuit", "dynamic-tdm")
     }
     result = LoadLatencyResult(loads=tuple(loads))
-    for scheme, factory in factories.items():
+    for scheme, spec in specs.items():
         series: list[float] = []
         for load in loads:
             pattern = OpenLoopUniformPattern(
@@ -83,7 +82,7 @@ def run_load_latency(
                 duration_ns=duration_ns,
                 byte_ps=params.byte_ps,
             )
-            network: BaseNetwork = factory()
+            network: BaseNetwork = build_network(spec)
             phases = pattern.phases(RngStreams(seed))
             run = network.run(phases, pattern_name=pattern.name)
             series.append(summarize_latencies(run).mean_ns)

@@ -1,9 +1,28 @@
-"""Network models: the TDM system and the paper's comparison baselines."""
+"""Network models: the TDM system and the paper's comparison baselines.
+
+Construct schemes through the registry (:class:`RunSpec`,
+:func:`build_network`, :func:`run_scheme`) rather than instantiating the
+network classes directly; see ``docs/architecture.md``.
+"""
 
 from .base import BaseNetwork, PhaseResult, RunResult
 from .circuit import CircuitNetwork
 from .ideal import IdealNetwork, bottleneck_lower_bound_ps
+from .lifecycle import ConnectionManager, LifecycleClient
 from .multihop import HopComparison, MultiHopModel
+from .registry import (
+    DEFAULT_INJECTION_WINDOW,
+    DEFAULT_K,
+    RunSpec,
+    SchemeCapabilities,
+    SchemeInfo,
+    build_network,
+    get_scheme,
+    register_scheme,
+    resolve_scheme_name,
+    run_scheme,
+    scheme_names,
+)
 from .tdm import TdmNetwork
 from .wormhole import WormholeNetwork
 
@@ -14,8 +33,21 @@ __all__ = [
     "CircuitNetwork",
     "IdealNetwork",
     "bottleneck_lower_bound_ps",
+    "ConnectionManager",
+    "LifecycleClient",
     "HopComparison",
     "MultiHopModel",
     "TdmNetwork",
     "WormholeNetwork",
+    "DEFAULT_INJECTION_WINDOW",
+    "DEFAULT_K",
+    "RunSpec",
+    "SchemeCapabilities",
+    "SchemeInfo",
+    "build_network",
+    "get_scheme",
+    "register_scheme",
+    "resolve_scheme_name",
+    "run_scheme",
+    "scheme_names",
 ]

@@ -9,9 +9,11 @@ bulk-synchronous program), byte-conservation accounting, and completion
 bookkeeping.  Subclasses implement :meth:`_execute_phase`, which must run
 the event loop until the injected phase has fully drained.
 
-The base class also hosts the scheme-independent half of the fault model
-(:mod:`repro.faults`): per-port link state, the public ``fault_*`` hooks
-the injector dispatches to, and explicit message drops.  Under faults the
+The base class also hosts the public ``fault_*`` hooks the injector
+dispatches to and explicit message drops; the scheme-independent halves of
+fault recovery — per-port link state, watchdog timers, retry/give-up
+policy — live in the :class:`~repro.networks.lifecycle.ConnectionManager`
+each run creates (:attr:`BaseNetwork.lifecycle`).  Under faults the
 phase barrier's completion condition becomes *delivered or explicitly
 dropped* — every injected message must end as exactly one
 :class:`~repro.types.MessageRecord` or one
@@ -38,6 +40,7 @@ from ..sim.stats import OnlineStats
 from ..sim.trace import NULL_TRACER, Tracer
 from ..traffic.base import TrafficPhase
 from ..types import DropRecord, Message, MessageRecord
+from .lifecycle import ConnectionManager
 
 __all__ = ["PhaseResult", "RunResult", "BaseNetwork"]
 
@@ -148,8 +151,9 @@ class BaseNetwork(ABC):
         self.drops: list[DropRecord] = []
         self._phase_remaining = 0
         self._faults_active = False
-        self._link_down = np.zeros(params.n_ports, dtype=bool)
-        self._link_dead = np.zeros(params.n_ports, dtype=bool)
+        #: connection-lifecycle state (link up/down/dead, watchdogs, retry
+        #: policy); recreated per run, attached to the scheme's scheduler
+        self.lifecycle: ConnectionManager = ConnectionManager(self)
 
     # -- the public entry point -------------------------------------------------
 
@@ -164,8 +168,7 @@ class BaseNetwork(ABC):
         self.ledger = FlowLedger(n)
         self.records = []
         self.drops = []
-        self._link_down = np.zeros(n, dtype=bool)
-        self._link_dead = np.zeros(n, dtype=bool)
+        self.lifecycle = ConnectionManager(self)
         self._faults_active = (
             self.fault_injector is not None and self.fault_injector.active
         )
@@ -239,10 +242,12 @@ class BaseNetwork(ABC):
 
         Called at every phase boundary when :attr:`strict` is set (or the
         ``REPRO_STRICT=1`` environment variable is present).  Subclasses
-        extend this with their scheduler/register checks.
+        extend this with any further scheme-specific checks.
         """
         for nic in self.nics:
             nic.voqs.check_invariants()
+        if self.lifecycle.scheduler is not None:
+            self.lifecycle.scheduler.registers.check_invariants()
 
     # -- shared plumbing --------------------------------------------------------------
 
@@ -354,57 +359,65 @@ class BaseNetwork(ABC):
             self.sim.stop()
 
     # -- fault hooks (dispatched by repro.faults.FaultInjector) ---------------------
+    #
+    # The hooks delegate to the run's ConnectionManager, which owns the
+    # scheme-independent halves; schemes react through _on_link_* and the
+    # lifecycle_* policy callbacks.
+
+    @property
+    def _link_down(self) -> np.ndarray:
+        """Per-port transient-outage state (owned by the lifecycle layer)."""
+        return self.lifecycle.link_down
+
+    @property
+    def _link_dead(self) -> np.ndarray:
+        """Per-port permanent-failure state (owned by the lifecycle layer)."""
+        return self.lifecycle.link_dead
 
     def _link_ok(self, u: int, v: int) -> bool:
         """Can connection (u, v) move bytes right now?"""
-        return not (self._link_down[u] or self._link_down[v])
+        down = self.lifecycle.link_down
+        return not (down[u] or down[v])
 
     def fault_link_down(self, port: int, duration_ps: int) -> bool:
         """A transient outage takes both of ``port``'s links down."""
-        if self._link_down[port]:
-            return False  # already down (dead, or overlapping transient)
-        self._link_down[port] = True
-        self.tracer.record(self.sim.now, "fault-link-down", port=port)
-        self._on_link_down(port)
-        return True
+        return self.lifecycle.port_link_down(port, duration_ps)
 
     def fault_link_up(self, port: int) -> None:
         """A transient outage ends (never fires for dead ports)."""
-        if self._link_dead[port]:
-            return
-        self._link_down[port] = False
-        self.tracer.record(self.sim.now, "fault-link-up", port=port)
-        self._on_link_up(port)
+        self.lifecycle.port_link_up(port)
 
     def fault_link_dead(self, port: int) -> bool:
         """A permanent failure kills both of ``port``'s links."""
-        if self._link_dead[port]:
-            return False
-        self._link_dead[port] = True
-        self._link_down[port] = True
-        self.tracer.record(self.sim.now, "fault-link-dead", port=port)
-        if self.fault_injector is not None:
-            self.fault_injector.cancel_awaiting_port(port)
-        self._on_link_dead(port)
-        return True
+        return self.lifecycle.port_link_dead(port)
 
-    # scheduler-plane faults only apply to schemes that have a scheduler;
-    # the base network skips them (the injector counts the skip)
+    # scheduler-plane faults only apply to schemes that attached a scheduler
+    # to the lifecycle manager; otherwise the injector counts the skip
 
     def fault_slot_stuck(self, slot: int) -> bool:
-        return False
+        if self.lifecycle.scheduler is None:
+            return False
+        return self.lifecycle.slot_stuck(slot)
 
     def fault_slot_corrupt(self, slot: int) -> bool:
-        return False
+        if self.lifecycle.scheduler is None:
+            return False
+        return self.lifecycle.slot_corrupt(slot)
 
     def fault_slot_quarantine(self, slot: int) -> None:
         """Detection follow-up for a stuck slot (no-op without a scheduler)."""
+        if self.lifecycle.scheduler is not None:
+            self.lifecycle.slot_quarantine(slot)
 
     def fault_request_drop(self, u: int, v: int) -> bool:
-        return False
+        if self.lifecycle.scheduler is None:
+            return False
+        return self.lifecycle.request_drop(u, v)
 
     def fault_sl_dead(self, u: int, v: int) -> bool:
-        return False
+        if self.lifecycle.scheduler is None:
+            return False
+        return self.lifecycle.sl_dead(u, v)
 
     # scheme-specific reactions to link state changes
 
@@ -419,6 +432,7 @@ class BaseNetwork(ABC):
 
     def _fault_phase_reset(self) -> None:
         """Cancel per-phase recovery state at the phase barrier."""
+        self.lifecycle.phase_reset()
 
     @property
     def phase_done(self) -> bool:

@@ -24,13 +24,12 @@ drops) — the best case the paper's Section 2 analysis describes.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 
 from ..faults.injector import FaultInjector
 from ..params import SystemParams
 from ..sched.priority import RotationPolicy, RoundRobinPriority
 from ..sched.scheduler import Scheduler
-from ..sim.engine import Event, Priority
+from ..sim.engine import Priority
 from ..sim.trace import Tracer
 from ..traffic.base import TrafficPhase
 from ..types import Message, MessageRecord
@@ -42,15 +41,6 @@ __all__ = ["CircuitNetwork"]
 _IDLE = 0
 _WAITING = 1  # request raised, circuit not granted yet
 _SENDING = 2
-
-
-@dataclass(slots=True)
-class _Watch:
-    """Watchdog state for one NIC's head-of-line message under faults."""
-
-    attempts: int
-    seq: int  # the message the watch belongs to (stale checks self-cancel)
-    event: Event
 
 
 class CircuitNetwork(BaseNetwork):
@@ -90,8 +80,9 @@ class CircuitNetwork(BaseNetwork):
         self._current = [None] * n
         self._clock_started = False
         self.circuits_established = 0
-        # fault recovery state (inert unless a fault campaign is active)
-        self._watches: dict[int, _Watch] = {}
+        # fault recovery (watchdogs, retries, give-up) is driven by the
+        # lifecycle layer through the lifecycle_* callbacks below
+        self.lifecycle.attach_scheduler(self.scheduler, client=self)
         self._link_blocked: set[int] = set()
 
     def _accept(self, msg, at_phase_start: bool) -> None:
@@ -152,7 +143,7 @@ class CircuitNetwork(BaseNetwork):
                 priority=Priority.WIRE,
             )
             if self._faults_active:
-                self._arm_watch(u, msg)
+                self.lifecycle.arm(u, msg.dst)
 
     def _request_up(self, u: int, v: int) -> None:
         sched = self.scheduler
@@ -288,74 +279,86 @@ class CircuitNetwork(BaseNetwork):
         if self.phase_done:
             self.sim.stop()
 
-    # -- fault hooks and recovery (repro.faults) ----------------------------------
+    # -- lifecycle policy callbacks (repro.networks.lifecycle) ----------------------
+    #
+    # The ConnectionManager drives watchdogs, retries, management-plane
+    # escalation, and give-up; these callbacks supply circuit switching's
+    # policy: a watch covers a NIC's head-of-line message (the ``seq`` field
+    # self-cancels stale fires after the head advances), and giving up drops
+    # the head plus everything else queued to the same destination.
 
-    def fault_slot_stuck(self, slot: int) -> bool:
-        sched = self.scheduler
-        assert sched is not None
-        regs = sched.registers
-        if not 0 <= slot < sched.k or slot in regs.stuck or slot in regs.quarantined:
-            return False  # circuit switching has k=1: other slots don't exist
-        regs.set_stuck(slot)
-        self.tracer.record(self.sim.now, "fault-slot-stuck", slot=slot)
-        return True
+    def lifecycle_watch_ref(self, u: int, v: int) -> tuple[int, int | None]:
+        msg = self._current[u]
+        assert msg is not None and msg.dst == v
+        return u, msg.seq
 
-    def fault_slot_corrupt(self, slot: int) -> bool:
-        sched = self.scheduler
-        assert sched is not None
-        regs = sched.registers
-        if not 0 <= slot < sched.k or slot in regs.stuck or slot in regs.quarantined:
-            return False
-        evicted = list(regs[slot].connections())
-        regs.clear_slot(slot)
-        self.tracer.record(self.sim.now, "fault-slot-corrupt", slot=slot)
+    def lifecycle_watch_resolved(self, u: int, v: int, seq: int | None) -> bool:
+        msg = self._current[u]
+        # progressed — or blocked on a link, which the data plane handles
+        return (
+            msg is None
+            or msg.seq != seq
+            or self._state[u] != _WAITING
+            or u in self._link_blocked
+        )
+
+    def lifecycle_awaiting_grant(self, u: int, v: int) -> bool:
         # in-flight transmissions complete; WAITING NICs whose circuit just
         # evaporated are re-granted by later passes (their request is still up)
-        self._note_disrupted_waiters(evicted)
-        return True
-
-    def fault_slot_quarantine(self, slot: int) -> None:
-        sched = self.scheduler
-        assert sched is not None
-        if not 0 <= slot < sched.k or slot in sched.registers.quarantined:
-            return
-        evicted = sched.quarantine_slot(slot)
-        self.tracer.record(self.sim.now, "fault-slot-quarantine", slot=slot)
-        # with k=1 there is no spare slot to remap into: recovery degrades
-        # to the watchdogs timing out and giving the messages up explicitly
-        self._note_disrupted_waiters(evicted)
-
-    def fault_request_drop(self, u: int, v: int) -> bool:
-        sched = self.scheduler
-        assert sched is not None
-        sched.set_request(u, v, False)
-        self.tracer.record(self.sim.now, "fault-req-drop", src=u, dst=v)
         msg = self._current[u]
-        if msg is not None and msg.dst == v and self._state[u] == _WAITING:
-            assert self.fault_injector is not None
-            self.fault_injector.note_disrupted(u, v)
-            self._arm_watch(u, msg)
-        return True
+        return msg is not None and msg.dst == v and self._state[u] == _WAITING
 
-    def fault_sl_dead(self, u: int, v: int) -> bool:
+    def lifecycle_awaiting_sl_dead(self, u: int, v: int) -> bool:
+        return self.lifecycle_awaiting_grant(u, v)
+
+    def lifecycle_retry(self, u: int, v: int) -> None:
+        self.sim.schedule(
+            self.params.request_wire_ps,
+            self._request_up,
+            u,
+            v,
+            priority=Priority.WIRE,
+        )
+
+    def lifecycle_mgmt_remap(self, u: int, v: int) -> bool:
         sched = self.scheduler
         assert sched is not None
-        sched.kill_cell(u, v)
-        self.tracer.record(self.sim.now, "fault-sl-dead", src=u, dst=v)
-        msg = self._current[u]
-        if msg is not None and msg.dst == v and self._state[u] == _WAITING:
-            assert self.fault_injector is not None
-            self.fault_injector.note_disrupted(u, v)
-            self._arm_watch(u, msg)
+        sched.r_view[u, v] = True  # management refreshes the request latch
+        slot = sched.mgmt_establish(u, v)
+        if slot is None:
+            return False
+        self.tracer.record(self.sim.now, "mgmt-remap", src=u, dst=v, slot=slot)
+        self.sim.schedule(
+            self.params.grant_wire_ps,
+            self._granted,
+            u,
+            v,
+            priority=Priority.WIRE,
+        )
         return True
 
-    def _note_disrupted_waiters(self, evicted: list[tuple[int, int]]) -> None:
-        assert self.fault_injector is not None
-        for u, v in evicted:
-            msg = self._current[u]
-            if msg is not None and msg.dst == v and self._state[u] == _WAITING:
-                self.fault_injector.note_disrupted(u, v)
-                self._arm_watch(u, msg)
+    def lifecycle_give_up(self, u: int, v: int) -> None:
+        """Recovery failed: drop the head message and everything else to v."""
+        sched = self.scheduler
+        assert sched is not None
+        msg = self._current[u]
+        assert msg is not None and msg.dst == v
+        self._current[u] = None
+        self._state[u] = _IDLE
+        victims: list[Message] = [msg]
+        keep: deque[Message] = deque()
+        for m in self._fifo[u]:
+            (victims if m.dst == v else keep).append(m)
+        self._fifo[u] = keep
+        for m in victims:
+            self._drop_message(m, "unrecoverable")
+        sched.r_view[u, v] = False
+        self._advance_nic(u)
+
+    def lifecycle_pinned_lost(self) -> None:
+        """Circuit switching (k=1) never pins a slot."""
+
+    # -- link-state reactions (repro.faults) ----------------------------------------
 
     def _on_link_down(self, port: int) -> None:
         inj = self.fault_injector
@@ -392,7 +395,7 @@ class CircuitNetwork(BaseNetwork):
                 self._current[u] = None
                 self._state[u] = _IDLE
                 self._link_blocked.discard(u)
-                self._disarm_watch(u)
+                self.lifecycle.disarm(u)
                 victims.append(msg)
                 to_advance.append(u)
         for m in victims:
@@ -425,109 +428,4 @@ class CircuitNetwork(BaseNetwork):
                     msg.dst,
                     priority=Priority.WIRE,
                 )
-                self._arm_watch(u, msg)
-
-    # .. the NIC-side watchdogs
-
-    def _arm_watch(self, u: int, msg: Message) -> None:
-        assert self.fault_injector is not None
-        watch = self._watches.get(u)
-        if watch is not None:
-            if watch.seq == msg.seq:
-                return
-            watch.event.cancel()
-        policy = self.fault_injector.retry
-        event = self.sim.schedule(
-            policy.delay_ps(0), self._watch_fire, u, msg.seq, priority=Priority.NIC
-        )
-        self._watches[u] = _Watch(attempts=0, seq=msg.seq, event=event)
-
-    def _disarm_watch(self, u: int) -> None:
-        watch = self._watches.pop(u, None)
-        if watch is not None:
-            watch.event.cancel()
-
-    def _watch_fire(self, u: int, seq: int) -> None:
-        watch = self._watches.get(u)
-        if watch is None or watch.seq != seq:
-            return
-        msg = self._current[u]
-        if (
-            msg is None
-            or msg.seq != seq
-            or self._state[u] != _WAITING
-            or u in self._link_blocked
-        ):
-            del self._watches[u]  # progressed (or blocked on a link, not a grant)
-            return
-        sched = self.scheduler
-        assert sched is not None and self.fault_injector is not None
-        policy = self.fault_injector.retry
-        attempt = watch.attempts
-        watch.attempts += 1
-        v = msg.dst
-        if attempt < policy.max_retries:
-            self.fault_injector.counters.inc("request_retries")
-            self.sim.schedule(
-                self.params.request_wire_ps,
-                self._request_up,
-                u,
-                v,
-                priority=Priority.WIRE,
-            )
-        elif attempt < policy.total_attempts:
-            self.fault_injector.counters.inc("mgmt_attempts")
-            sched.r_view[u, v] = True  # management refreshes the request latch
-            slot = sched.mgmt_establish(u, v)
-            if slot is not None:
-                self.tracer.record(self.sim.now, "mgmt-remap", src=u, dst=v, slot=slot)
-                del self._watches[u]
-                self.sim.schedule(
-                    self.params.grant_wire_ps,
-                    self._granted,
-                    u,
-                    v,
-                    priority=Priority.WIRE,
-                )
-                return
-        else:
-            del self._watches[u]
-            self._give_up_connection(u, v)
-            return
-        watch.event = self.sim.schedule(
-            policy.delay_ps(watch.attempts),
-            self._watch_fire,
-            u,
-            seq,
-            priority=Priority.NIC,
-        )
-
-    def _give_up_connection(self, u: int, v: int) -> None:
-        """Recovery failed: drop the head message and everything else to v."""
-        sched = self.scheduler
-        assert sched is not None and self.fault_injector is not None
-        self.fault_injector.cancel_awaiting(u, v)
-        self.fault_injector.counters.inc("unrecoverable_connections")
-        msg = self._current[u]
-        assert msg is not None and msg.dst == v
-        self._current[u] = None
-        self._state[u] = _IDLE
-        victims: list[Message] = [msg]
-        keep: deque[Message] = deque()
-        for m in self._fifo[u]:
-            (victims if m.dst == v else keep).append(m)
-        self._fifo[u] = keep
-        for m in victims:
-            self._drop_message(m, "unrecoverable")
-        sched.r_view[u, v] = False
-        self._advance_nic(u)
-
-    def _fault_phase_reset(self) -> None:
-        for watch in self._watches.values():
-            watch.event.cancel()
-        self._watches.clear()
-
-    def _check_invariants(self) -> None:
-        super()._check_invariants()
-        if self.scheduler is not None:
-            self.scheduler.registers.check_invariants()
+                self.lifecycle.arm(u, msg.dst)

@@ -33,7 +33,6 @@ amortisation is the point of the paper.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -51,7 +50,7 @@ from ..sched.multislot import QueueDepthBoostPolicy
 from ..sched.multiunit import MultiUnitScheduler
 from ..sched.priority import RotationPolicy, RoundRobinPriority
 from ..sched.scheduler import Scheduler
-from ..sim.engine import Event, Priority
+from ..sim.engine import Priority
 from ..sim.trace import Tracer
 from ..traffic.base import TrafficPhase
 from ..types import Connection, Message, MessageRecord
@@ -60,14 +59,6 @@ from .base import BaseNetwork
 __all__ = ["TdmNetwork"]
 
 _MODES = ("dynamic", "preload", "hybrid")
-
-
-@dataclass(slots=True)
-class _Watch:
-    """NIC-side watchdog state for one connection under fault recovery."""
-
-    attempts: int
-    event: Event
 
 
 class TdmNetwork(BaseNetwork):
@@ -203,9 +194,10 @@ class TdmNetwork(BaseNetwork):
         self._conn_ready = np.zeros(
             (self.params.n_ports, self.params.n_ports), dtype=np.int64
         )
-        # fault recovery state (inert unless a fault campaign is active)
+        # fault recovery (watchdogs, retries, give-up) is driven by the
+        # lifecycle layer through the lifecycle_* callbacks below
         self._degraded = False
-        self._watches: dict[Connection, _Watch] = {}
+        self.lifecycle.attach_scheduler(self.scheduler, client=self)
 
     def _inject(self, phase: TrafficPhase) -> None:
         """Inject a phase, honouring the per-NIC injection window.
@@ -276,7 +268,7 @@ class TdmNetwork(BaseNetwork):
                 self.tracer.record(self.sim.now, "req-rise", src=u, dst=v)
             sched.r_view[u, v] = True
             if self._faults_active and not sched.established_anywhere(u, v):
-                self._arm_watch(u, v)
+                self.lifecycle.arm(u, v)
 
     def _accept(self, msg, at_phase_start: bool) -> None:
         """A message arrives mid-phase: raise its request after the wire."""
@@ -482,7 +474,7 @@ class TdmNetwork(BaseNetwork):
             for u, row in enumerate(sched.r_view):
                 for v in np.nonzero(row)[0].tolist():
                     if not sched.established_anywhere(u, v):
-                        self._arm_watch(u, v)
+                        self.lifecycle.arm(u, v)
 
     def _request_drop(self, u: int, v: int, hold: bool) -> None:
         """A queue-empty edge arrived at the scheduler."""
@@ -625,79 +617,86 @@ class TdmNetwork(BaseNetwork):
                 self.params.scheduler_pass_ps, self._sl_tick, priority=Priority.SCHEDULER
             )
 
-    # -- fault hooks and recovery (repro.faults) --------------------------------------------------
+    # -- lifecycle policy callbacks (repro.networks.lifecycle) ------------------------------------
+    #
+    # The ConnectionManager drives watchdogs, retries, management-plane
+    # escalation, and give-up; these callbacks supply TDM's policy: a watch
+    # covers one (u, v) connection for as long as bytes are pending and no
+    # slot carries it, and losing a pinned slot degrades to dynamic mode.
 
-    def fault_slot_stuck(self, slot: int) -> bool:
+    def lifecycle_watch_ref(self, u: int, v: int) -> tuple[Connection, int | None]:
+        return (u, v), None
+
+    def lifecycle_watch_resolved(self, u: int, v: int, seq: int | None) -> bool:
+        if self.nics[u].voqs.bytes_pending[v] <= 0:
+            return True  # drained (or dropped) — nothing to recover
         sched = self.scheduler
         assert sched is not None
-        regs = sched.registers
-        if not 0 <= slot < sched.k or slot in regs.stuck or slot in regs.quarantined:
-            return False
-        regs.set_stuck(slot)
-        self.tracer.record(self.sim.now, "fault-slot-stuck", slot=slot)
-        return True
+        # healthy again (slot up and request visible): transfers will flow
+        return bool(sched.established_anywhere(u, v) and sched.r_view[u, v])
 
-    def fault_slot_corrupt(self, slot: int) -> bool:
+    def lifecycle_awaiting_grant(self, u: int, v: int) -> bool:
+        return bool(self.nics[u].voqs.bytes_pending[v] > 0)
+
+    def lifecycle_awaiting_sl_dead(self, u: int, v: int) -> bool:
         sched = self.scheduler
         assert sched is not None
-        regs = sched.registers
-        if not 0 <= slot < sched.k or slot in regs.stuck or slot in regs.quarantined:
-            return False
-        evicted = list(regs[slot].connections())
-        was_pinned = slot in regs.pinned
-        regs.clear_slot(slot)
-        self.tracer.record(self.sim.now, "fault-slot-corrupt", slot=slot)
-        if was_pinned:
-            self._degrade_to_dynamic()
-        self._note_evicted(evicted)
-        return True
-
-    def fault_slot_quarantine(self, slot: int) -> None:
-        """Detection follow-up: take a stuck slot out of service."""
-        sched = self.scheduler
-        assert sched is not None
-        regs = sched.registers
-        if not 0 <= slot < sched.k or slot in regs.quarantined:
-            return
-        was_pinned = slot in regs.pinned
-        evicted = sched.quarantine_slot(slot)
-        self.tracer.record(self.sim.now, "fault-slot-quarantine", slot=slot)
-        if was_pinned:
-            self._degrade_to_dynamic()
-        self._note_evicted(evicted)
-
-    def fault_request_drop(self, u: int, v: int) -> bool:
-        sched = self.scheduler
-        assert sched is not None
-        sched.set_request(u, v, False)
-        self.tracer.record(self.sim.now, "fault-req-drop", src=u, dst=v)
-        if self.nics[u].voqs.bytes_pending[v] > 0:
-            assert self.fault_injector is not None
-            self.fault_injector.note_disrupted(u, v)
-            self._arm_watch(u, v)
-        return True
-
-    def fault_sl_dead(self, u: int, v: int) -> bool:
-        sched = self.scheduler
-        assert sched is not None
-        sched.kill_cell(u, v)
-        self.tracer.record(self.sim.now, "fault-sl-dead", src=u, dst=v)
-        if (
+        return bool(
             self.nics[u].voqs.bytes_pending[v] > 0
             and not sched.established_anywhere(u, v)
-        ):
-            assert self.fault_injector is not None
-            self.fault_injector.note_disrupted(u, v)
-            self._arm_watch(u, v)
+        )
+
+    def lifecycle_retry(self, u: int, v: int) -> None:
+        self.sim.schedule(
+            self.params.request_wire_ps,
+            self._request_rise,
+            u,
+            v,
+            priority=Priority.WIRE,
+        )
+
+    def lifecycle_mgmt_remap(self, u: int, v: int) -> bool:
+        sched = self.scheduler
+        assert sched is not None
+        sched.r_view[u, v] = True  # management refreshes the request latch
+        slot = sched.mgmt_establish(u, v)
+        if slot is None:
+            return False
+        assert self._conn_ready is not None
+        ready = self.sim.now + self.params.grant_wire_ps
+        self._conn_ready[u, v] = max(self._conn_ready[u, v], ready)
+        self.tracer.record(self.sim.now, "mgmt-remap", src=u, dst=v, slot=slot)
         return True
 
-    def _note_evicted(self, evicted: list[Connection]) -> None:
-        """Connections lost their slot; watch the ones with pending traffic."""
-        assert self.fault_injector is not None
-        for u, v in evicted:
-            if self.nics[u].voqs.bytes_pending[v] > 0:
-                self.fault_injector.note_disrupted(u, v)
-                self._arm_watch(u, v)
+    def lifecycle_give_up(self, u: int, v: int) -> None:
+        """Recovery failed: explicitly drop everything queued on (u, v)."""
+        sched = self.scheduler
+        assert sched is not None
+        removed = self.nics[u].voqs.purge(v)
+        victims: list[Message] = list(removed)
+        if self._scripts:
+            assert self._script_bytes is not None
+            script = self._scripts[u]
+            keep: deque = deque()
+            for m in script:
+                if m.dst == v:
+                    self._script_bytes[u, v] -= m.size
+                    victims.append(m)
+                else:
+                    keep.append(m)
+            self._scripts[u] = keep
+        for m in victims:
+            self._drop_message(m, "unrecoverable")
+        sched.r_view[u, v] = False
+        sched.latched[u, v] = False
+        if self._scripts:
+            for _ in range(len(removed)):
+                self._feed_nic(u)
+
+    def lifecycle_pinned_lost(self) -> None:
+        self._degrade_to_dynamic()
+
+    # -- link-state reactions (repro.faults) ------------------------------------------------------
 
     def _on_link_down(self, port: int) -> None:
         """A transient outage: open recovery windows for affected traffic."""
@@ -749,8 +748,7 @@ class TdmNetwork(BaseNetwork):
         sched.latched[port, :] = False
         sched.latched[:, port] = False
         self.predictor.on_fault(port, self.sim.now)
-        for conn in [c for c in self._watches if port in c]:
-            self._watches.pop(conn).event.cancel()
+        self.lifecycle.disarm_port(port)
         if self._scripts:
             # queued messages the purge removed freed injection-window slots
             for u in range(n):
@@ -784,100 +782,6 @@ class TdmNetwork(BaseNetwork):
         self.fault_injector.counters.inc("degraded_to_dynamic")
         self.tracer.record(self.sim.now, "degrade-to-dynamic")
 
-    # .. the NIC-side watchdogs
-
-    def _arm_watch(self, u: int, v: int) -> None:
-        """Start (or keep) a per-connection timeout with bounded retries."""
-        if (u, v) in self._watches or self._link_dead[u] or self._link_dead[v]:
-            return
-        assert self.fault_injector is not None
-        policy = self.fault_injector.retry
-        event = self.sim.schedule(
-            policy.delay_ps(0), self._watch_fire, u, v, priority=Priority.NIC
-        )
-        self._watches[(u, v)] = _Watch(attempts=0, event=event)
-
-    def _watch_fire(self, u: int, v: int) -> None:
-        watch = self._watches.get((u, v))
-        if watch is None:
-            return
-        sched = self.scheduler
-        assert sched is not None and self.fault_injector is not None
-        if self.nics[u].voqs.bytes_pending[v] <= 0:
-            del self._watches[(u, v)]  # drained (or dropped) — nothing to recover
-            return
-        if sched.established_anywhere(u, v) and sched.r_view[u, v]:
-            del self._watches[(u, v)]  # healthy again; transfers will flow
-            return
-        policy = self.fault_injector.retry
-        attempt = watch.attempts
-        watch.attempts += 1
-        if attempt < policy.max_retries:
-            # re-raise the request line and back off
-            self.fault_injector.counters.inc("request_retries")
-            self.sim.schedule(
-                self.params.request_wire_ps,
-                self._request_rise,
-                u,
-                v,
-                priority=Priority.WIRE,
-            )
-        elif attempt < policy.total_attempts:
-            # escalate: ask the management plane for a direct slot placement
-            self.fault_injector.counters.inc("mgmt_attempts")
-            sched.r_view[u, v] = True  # management refreshes the request latch
-            slot = sched.mgmt_establish(u, v)
-            if slot is not None:
-                assert self._conn_ready is not None
-                ready = self.sim.now + self.params.grant_wire_ps
-                self._conn_ready[u, v] = max(self._conn_ready[u, v], ready)
-                self.tracer.record(
-                    self.sim.now, "mgmt-remap", src=u, dst=v, slot=slot
-                )
-                del self._watches[(u, v)]
-                return
-        else:
-            # retry budget exhausted and no healthy slot: give the connection up
-            del self._watches[(u, v)]
-            self._give_up_connection(u, v)
-            return
-        watch.event = self.sim.schedule(
-            policy.delay_ps(watch.attempts), self._watch_fire, u, v, priority=Priority.NIC
-        )
-
-    def _give_up_connection(self, u: int, v: int) -> None:
-        """Recovery failed: explicitly drop everything queued on (u, v)."""
-        sched = self.scheduler
-        assert sched is not None and self.fault_injector is not None
-        self.fault_injector.cancel_awaiting(u, v)
-        self.fault_injector.counters.inc("unrecoverable_connections")
-        removed = self.nics[u].voqs.purge(v)
-        victims: list[Message] = list(removed)
-        if self._scripts:
-            assert self._script_bytes is not None
-            script = self._scripts[u]
-            keep: deque = deque()
-            for m in script:
-                if m.dst == v:
-                    self._script_bytes[u, v] -= m.size
-                    victims.append(m)
-                else:
-                    keep.append(m)
-            self._scripts[u] = keep
-        for m in victims:
-            self._drop_message(m, "unrecoverable")
-        sched.r_view[u, v] = False
-        sched.latched[u, v] = False
-        if self._scripts:
-            for _ in range(len(removed)):
-                self._feed_nic(u)
-
-    def _fault_phase_reset(self) -> None:
-        """Phase barrier: stale watchdogs must not leak into the next phase."""
-        for watch in self._watches.values():
-            watch.event.cancel()
-        self._watches.clear()
-
     def _drop_message(self, msg: Message, reason: str) -> None:
         if (msg.src, msg.dst) in self._batch_conns:
             # the batch will never see these bytes transmitted
@@ -885,11 +789,6 @@ class TdmNetwork(BaseNetwork):
         super()._drop_message(msg, reason)
         if self._batch_conns:
             self._maybe_advance_batch()
-
-    def _check_invariants(self) -> None:
-        super()._check_invariants()
-        if self.scheduler is not None:
-            self.scheduler.registers.check_invariants()
 
     # -- delivery hook ---------------------------------------------------------------------------
 

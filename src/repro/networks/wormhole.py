@@ -273,6 +273,7 @@ class WormholeNetwork(BaseNetwork):
         ``send`` here and mark the message so a leftover grant event firing
         in a later phase cannot post it twice.
         """
+        super()._fault_phase_reset()
         for msg in self._dropped_partial:
             launched = msg.size - msg.remaining
             unposted = launched - self._granted_bytes.pop(id(msg), 0)

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import PAPER_PARAMS, TdmNetwork, measure
+from repro import PAPER_PARAMS, RunSpec, build_network, measure
 from repro.predict import Predictor
 from repro.traffic import TrafficPattern, TrafficPhase
 from repro.types import Connection
@@ -68,14 +68,15 @@ class EvenOddFabric:
 
 class TestCustomPattern:
     def test_runs_and_measures(self):
-        point = measure(RingPattern(16, 256), TdmNetwork(PARAMS, k=2), seed=7)
+        net = build_network(RunSpec("dynamic-tdm", PARAMS, k=2, injection_window=None))
+        point = measure(RingPattern(16, 256), net, seed=7)
         assert 0 < point.efficiency <= 1
         assert point.total_bytes == 16 * 4 * 256
 
     def test_preloadable(self):
         point = measure(
             RingPattern(16, 256),
-            TdmNetwork(PARAMS, k=2, mode="preload"),
+            build_network(RunSpec("preload", PARAMS, k=2, injection_window=None)),
             seed=7,
         )
         assert point.counters.get("establishes", 0) == 0
@@ -101,8 +102,14 @@ class TestCustomPredictor:
         ]
         phase = TrafficPhase("bursts", msgs)
         assign_seq([phase])
-        net = TdmNetwork(
-            PARAMS, k=2, mode="dynamic", predictor=SecondChancePredictor()
+        net = build_network(
+            RunSpec(
+                "dynamic-tdm",
+                PARAMS,
+                k=2,
+                injection_window=None,
+                options={"predictor": SecondChancePredictor()},
+            )
         )
         result = net.run([phase])
         assert len(result.records) == 2
@@ -121,8 +128,14 @@ class TestCustomFabric:
         ]
         phase = TrafficPhase("parity", msgs)
         assign_seq([phase])
-        net = TdmNetwork(
-            PARAMS, k=2, mode="dynamic", fabric_constraint=EvenOddFabric()
+        net = build_network(
+            RunSpec(
+                "dynamic-tdm",
+                PARAMS,
+                k=2,
+                injection_window=None,
+                options={"fabric_constraint": EvenOddFabric()},
+            )
         )
         result = net.run([phase])
         assert len(result.records) == 2
@@ -140,8 +153,14 @@ class TestCustomFabric:
         phase = TrafficPhase("impossible", [Message(src=0, dst=1, size=64)])
         assign_seq([phase])
         small = PAPER_PARAMS.with_overrides(n_ports=4)
-        net = TdmNetwork(
-            small, k=1, mode="dynamic", fabric_constraint=EvenOddFabric()
+        net = build_network(
+            RunSpec(
+                "dynamic-tdm",
+                small,
+                k=1,
+                injection_window=None,
+                options={"fabric_constraint": EvenOddFabric()},
+            )
         )
         with pytest.raises(SimulationError):
             net.run([phase])

@@ -1,0 +1,59 @@
+"""The repo's own lint gates, run as tests so they cannot rot.
+
+``tools/check_construction.py`` enforces the registry boundary: concrete
+scheme classes (TdmNetwork, CircuitNetwork, WormholeNetwork) may only be
+constructed inside ``src/repro/networks/`` and ``tests/`` — everything
+else resolves through ``repro.networks.registry.build_network``.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CHECKER = REPO / "tools" / "check_construction.py"
+
+
+def _run(*args: str) -> subprocess.CompletedProcess[str]:
+    return subprocess.run(
+        [sys.executable, str(CHECKER), *args], capture_output=True, text=True
+    )
+
+
+def test_repo_has_no_direct_scheme_construction():
+    proc = _run()
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_checker_flags_a_direct_construction(tmp_path):
+    bad = tmp_path / "rogue.py"
+    bad.write_text(
+        "from repro.networks.tdm import TdmNetwork\n"
+        "net = TdmNetwork(params, k=4, mode='dynamic')\n"
+    )
+    proc = _run(str(tmp_path))
+    assert proc.returncode == 1
+    assert "rogue.py:2" in proc.stdout
+    assert "TdmNetwork" in proc.stdout
+
+
+def test_checker_flags_attribute_construction(tmp_path):
+    bad = tmp_path / "rogue.py"
+    bad.write_text(
+        "import repro.networks.circuit as c\nnet = c.CircuitNetwork(params)\n"
+    )
+    proc = _run(str(tmp_path))
+    assert proc.returncode == 1
+    assert "CircuitNetwork" in proc.stdout
+
+
+def test_checker_ignores_registry_style_code(tmp_path):
+    ok = tmp_path / "fine.py"
+    ok.write_text(
+        "from repro.networks.registry import RunSpec, build_network\n"
+        "net = build_network(RunSpec('dynamic-tdm', params))\n"
+    )
+    proc = _run(str(tmp_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr

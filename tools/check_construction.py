@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Lint: concrete scheme classes must not be constructed outside the
+networks layer.
+
+Every construction site is supposed to resolve through the scheme
+registry (``repro.networks.registry.build_network``), so experiments,
+CLI paths, benchmarks, and examples stay decoupled from the concrete
+scheme classes.  This checker walks the AST of every Python file under
+the given roots and fails on a direct call to ``TdmNetwork(...)``,
+``CircuitNetwork(...)``, or ``WormholeNetwork(...)``.
+
+Exempt: ``src/repro/networks/`` itself (the registry's factories live
+there) and ``tests/`` (unit tests exercise the concrete classes on
+purpose).
+
+Run:  python tools/check_construction.py            # lint the repo
+      python tools/check_construction.py PATH ...   # lint specific roots
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SCHEME_CLASSES = frozenset({"TdmNetwork", "CircuitNetwork", "WormholeNetwork"})
+
+#: directories whose files may construct scheme classes directly
+EXEMPT_PARTS = (
+    ("src", "repro", "networks"),
+    ("tests",),
+)
+
+DEFAULT_ROOTS = ("src", "examples", "benchmarks", "tools", "tests")
+
+
+def _exempt(path: Path, repo_root: Path) -> bool:
+    try:
+        rel = path.relative_to(repo_root).parts
+    except ValueError:  # outside the repo (explicit roots): never exempt
+        return False
+    return any(rel[: len(parts)] == parts for parts in EXEMPT_PARTS)
+
+
+def _called_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def find_violations(path: Path) -> list[tuple[int, str]]:
+    """Direct scheme constructions in one file, as (line, class) pairs."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:  # a broken file is its own problem
+        return [(exc.lineno or 0, f"syntax error: {exc.msg}")]
+    return [
+        (node.lineno, name)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and (name := _called_name(node)) in SCHEME_CLASSES
+    ]
+
+
+def main(argv: list[str]) -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    roots = [Path(a) for a in argv] if argv else [
+        repo_root / r for r in DEFAULT_ROOTS
+    ]
+    violations: list[str] = []
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            if _exempt(path, repo_root):
+                continue
+            for lineno, name in find_violations(path):
+                rel = (
+                    path.relative_to(repo_root)
+                    if path.is_relative_to(repo_root)
+                    else path
+                )
+                violations.append(
+                    f"{rel}:{lineno}: direct {name}(...) construction — "
+                    "resolve it through repro.networks.registry.build_network"
+                )
+    if violations:
+        print("\n".join(violations))
+        print(f"\n{len(violations)} direct scheme construction(s) found")
+        return 1
+    print("construction check passed: all scheme construction goes "
+          "through the registry")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
