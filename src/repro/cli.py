@@ -4,16 +4,23 @@ Regenerates any paper artifact from the shell::
 
     python -m repro table3
     python -m repro figure4 --patterns scatter --sizes 8,64,512
+    python -m repro --jobs 8 figure4
     python -m repro figure5 --ports 64
     python -m repro ablations --only a1,a4
     python -m repro faults --rates 0,1,4 --schemes dynamic-tdm,preload
     python -m repro multihop --bytes 512 --hops 1,2,4,8
     python -m repro trace figure4 --format chrome -o fig4.json
+    python -m repro cache stats
     python -m repro schemes
 
 ``--ports`` scales the system (the paper uses 128; smaller is faster),
 ``--seed`` changes the workload realisation, ``--csv`` switches figure
-output to machine-readable CSV.
+output to machine-readable CSV.  Sweeps fan out over ``--jobs`` worker
+processes (default: every core; also ``$REPRO_JOBS``) and reuse cached
+cell results from ``~/.cache/repro`` (``$REPRO_CACHE_DIR``); output is
+bit-identical for any job count and cache state.  ``--no-cache`` runs
+cold, ``--refresh`` recomputes and overwrites, ``--exec-stats`` prints
+the executor telemetry to stderr.
 """
 
 from __future__ import annotations
@@ -22,19 +29,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from .experiments.ablations import (
-    ablation_cooperative_control,
-    ablation_injection_window,
-    ablation_fabrics,
-    ablation_guard_band,
-    ablation_idle_slot_skipping,
-    ablation_multiplexing_degree,
-    ablation_multislot,
-    ablation_predictors,
-    ablation_prefetching,
-    ablation_rotation_fairness,
-    ablation_sl_units,
-)
+from .experiments.ablations import ABLATIONS, run_ablations
 from .experiments.common import DEFAULT_SEED
 from .experiments.faults import FAULT_RATES, run_faults
 from .experiments.figure4 import MESSAGE_SIZES, run_figure4
@@ -48,23 +43,29 @@ from .params import PAPER_PARAMS, SystemParams
 
 __all__ = ["main"]
 
-_ABLATIONS = {
-    "a1": ("SL units", ablation_sl_units),
-    "a2": ("multi-slot connections", ablation_multislot),
-    "a3": ("eviction predictors", ablation_predictors),
-    "a4": ("guard band", ablation_guard_band),
-    "a5": ("priority rotation", ablation_rotation_fairness),
-    "a6": ("idle-slot skipping", ablation_idle_slot_skipping),
-    "a8": ("multiplexing degree", ablation_multiplexing_degree),
-    "a9": ("Markov prefetching", ablation_prefetching),
-    "a10": ("fabric constraints", ablation_fabrics),
-    "a11": ("cooperative control", ablation_cooperative_control),
-    "a12": ("injection window sensitivity", ablation_injection_window),
-}
-
 
 def _params(args: argparse.Namespace) -> SystemParams:
     return PAPER_PARAMS.with_overrides(n_ports=args.ports)
+
+
+def _exec_opts(args: argparse.Namespace) -> dict:
+    """The engine knobs every sweep subcommand forwards to map_cells."""
+    return dict(
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        refresh=args.refresh,
+        progress=sys.stderr.isatty(),
+    )
+
+
+def _emit_exec_stats(args: argparse.Namespace, *stats) -> None:
+    if not args.exec_stats:
+        return
+    from .obs import format_exec_stats
+
+    for s in stats:
+        if s is not None:
+            print(format_exec_stats(s), file=sys.stderr)
 
 
 def _csv_list(text: str) -> list[str]:
@@ -122,7 +123,9 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
         patterns=patterns,
         schemes=schemes,
         seed=args.seed,
+        **_exec_opts(args),
     )
+    _emit_exec_stats(args, result.exec_stats)
     if args.csv:
         for pattern in result.series:
             print(f"# {pattern}")
@@ -143,7 +146,9 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
         determinism=determinism,
         messages_per_node=args.messages,
         seed=args.seed,
+        **_exec_opts(args),
     )
+    _emit_exec_stats(args, result.exec_stats)
     print(result.csv() if args.csv else result.format())
     return 0
 
@@ -160,21 +165,26 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         size_bytes=args.bytes,
         messages_per_node=args.messages,
         seed=args.seed,
+        **_exec_opts(args),
     )
+    _emit_exec_stats(args, result.healthy_exec_stats, result.exec_stats)
     print(result.csv() if args.csv else result.format())
     return 0
 
 
 def _cmd_ablations(args: argparse.Namespace) -> int:
-    wanted = _csv_list(args.only) if args.only else list(_ABLATIONS)
-    params = _params(args)
+    wanted = _csv_list(args.only) if args.only else list(ABLATIONS)
     for key in wanted:
-        if key not in _ABLATIONS:
-            print(f"unknown ablation {key!r}; choose from {sorted(_ABLATIONS)}")
+        if key not in ABLATIONS:
+            print(f"unknown ablation {key!r}; choose from {sorted(ABLATIONS)}")
             return 2
-        title, fn = _ABLATIONS[key]
-        data = fn(params=params, seed=args.seed)
-        rows = [[k, v] for k, v in data.items()]
+    data, stats = run_ablations(
+        wanted, params=_params(args), seed=args.seed, **_exec_opts(args)
+    )
+    _emit_exec_stats(args, stats)
+    for key in wanted:
+        title = ABLATIONS[key][0]
+        rows = [[k, v] for k, v in data[key].items()]
         print(format_table(["setting", "value"], rows, title=f"{key.upper()} — {title}"))
     return 0
 
@@ -189,13 +199,23 @@ def _cmd_load_latency(args: argparse.Namespace) -> int:
         size_bytes=args.bytes,
         duration_ns=args.duration_ns,
         seed=args.seed,
+        **_exec_opts(args),
     )
+    _emit_exec_stats(args, result.exec_stats)
     print(result.csv() if args.csv else result.format())
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    text = run_all(params=_params(args), quick=args.quick, seed=args.seed)
+    stats: list = []
+    text = run_all(
+        params=_params(args),
+        quick=args.quick,
+        seed=args.seed,
+        stats_sink=stats,
+        **_exec_opts(args),
+    )
+    _emit_exec_stats(args, *stats)
     if args.output:
         from pathlib import Path
 
@@ -203,6 +223,37 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .exec import ResultCache
+
+    store = ResultCache(args.dir)
+    if args.action == "stats":
+        s = store.stats()
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["directory", s.root],
+                    ["entries", s.entries],
+                    ["size (KiB)", round(s.total_bytes / 1024, 1)],
+                    ["compute saved (s)", round(s.saved_wall_s, 2)],
+                ],
+                title="Result cache",
+            )
+        )
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entries from {store.root}")
+    else:
+        ok, bad = store.verify()
+        print(f"{ok} entries verified in {store.root}")
+        if bad:
+            for path in bad:
+                print(f"corrupt: {path}")
+            return 1
     return 0
 
 
@@ -311,6 +362,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--ports", type=int, default=128, help="system size (default 128)")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="workload seed")
+    # the engine knobs are accepted both before and after the subcommand
+    # (the parent parser uses SUPPRESS so a subcommand-position flag wins
+    # and an absent one does not clobber the top-level value)
+    parser.set_defaults(jobs=None, no_cache=False, refresh=False, exec_stats=False)
+    exec_flags = argparse.ArgumentParser(add_help=False, argument_default=argparse.SUPPRESS)
+    for p in (parser, exec_flags):
+        p.add_argument(
+            "--jobs",
+            type=int,
+            help="worker processes for sweeps (default: $REPRO_JOBS or all "
+            "cores); output is bit-identical for any value",
+        )
+        p.add_argument(
+            "--no-cache",
+            action="store_true",
+            help="do not read or write the result cache",
+        )
+        p.add_argument(
+            "--refresh",
+            action="store_true",
+            help="recompute every cell and overwrite its cache entry",
+        )
+        p.add_argument(
+            "--exec-stats",
+            action="store_true",
+            help="print executor telemetry (cells run/cached, speedup) to stderr",
+        )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table3", help="scheduler latency vs system size").set_defaults(
@@ -321,20 +399,32 @@ def build_parser() -> argparse.ArgumentParser:
         "schemes", help="list registered switching schemes and their capabilities"
     ).set_defaults(fn=_cmd_schemes)
 
-    f4 = sub.add_parser("figure4", help="pattern x scheme x size efficiency sweep")
+    f4 = sub.add_parser(
+        "figure4",
+        help="pattern x scheme x size efficiency sweep",
+        parents=[exec_flags],
+    )
     f4.add_argument("--sizes", help="comma-separated byte sizes (default: paper sweep)")
     f4.add_argument("--patterns", help="scatter,random-mesh,ordered-mesh,two-phase")
     f4.add_argument("--schemes", help="wormhole,circuit,dynamic-tdm,preload")
     f4.add_argument("--csv", action="store_true", help="CSV output")
     f4.set_defaults(fn=_cmd_figure4)
 
-    f5 = sub.add_parser("figure5", help="hybrid preload vs determinism sweep")
+    f5 = sub.add_parser(
+        "figure5",
+        help="hybrid preload vs determinism sweep",
+        parents=[exec_flags],
+    )
     f5.add_argument("--determinism", help="comma-separated fractions (default: paper sweep)")
     f5.add_argument("--messages", type=int, default=64, help="messages per node")
     f5.add_argument("--csv", action="store_true", help="CSV output")
     f5.set_defaults(fn=_cmd_figure5)
 
-    fl = sub.add_parser("faults", help="fault-injection campaigns (rate x scheme)")
+    fl = sub.add_parser(
+        "faults",
+        help="fault-injection campaigns (rate x scheme)",
+        parents=[exec_flags],
+    )
     fl.add_argument("--rates", help="comma-separated faults/us (default sweep)")
     fl.add_argument("--schemes", help="wormhole,circuit,dynamic-tdm,preload")
     fl.add_argument("--bytes", type=int, default=512, help="message size")
@@ -342,18 +432,30 @@ def build_parser() -> argparse.ArgumentParser:
     fl.add_argument("--csv", action="store_true", help="CSV output")
     fl.set_defaults(fn=_cmd_faults)
 
-    ab = sub.add_parser("ablations", help="design-choice ablations (a1-a6, a8-a12)")
+    ab = sub.add_parser(
+        "ablations",
+        help="design-choice ablations (a1-a6, a8-a12)",
+        parents=[exec_flags],
+    )
     ab.add_argument("--only", help="subset, e.g. a1,a4")
     ab.set_defaults(fn=_cmd_ablations)
 
-    ll = sub.add_parser("load-latency", help="load vs latency curves (extension L1)")
+    ll = sub.add_parser(
+        "load-latency",
+        help="load vs latency curves (extension L1)",
+        parents=[exec_flags],
+    )
     ll.add_argument("--loads", help="comma-separated offered loads (default sweep)")
     ll.add_argument("--bytes", type=int, default=128, help="message size")
     ll.add_argument("--duration-ns", type=float, default=10_000.0, help="injection window")
     ll.add_argument("--csv", action="store_true", help="CSV output")
     ll.set_defaults(fn=_cmd_load_latency)
 
-    rp = sub.add_parser("report", help="regenerate every artifact as one markdown report")
+    rp = sub.add_parser(
+        "report",
+        help="regenerate every artifact as one markdown report",
+        parents=[exec_flags],
+    )
     rp.add_argument("--quick", action="store_true", help="reduced grid for smoke tests")
     rp.add_argument("--output", help="write to this file instead of stdout")
     rp.set_defaults(fn=_cmd_report)
@@ -383,6 +485,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--utilization", action="store_true", help="print slot/port utilization report"
     )
     tr.set_defaults(fn=_cmd_trace)
+
+    ca = sub.add_parser("cache", help="inspect or clear the result cache")
+    ca.add_argument(
+        "action",
+        choices=("stats", "clear", "verify"),
+        help="stats: entry count/footprint; clear: delete entries; "
+        "verify: re-hash every entry",
+    )
+    ca.add_argument("--dir", help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    ca.set_defaults(fn=_cmd_cache)
 
     mh = sub.add_parser("multihop", help="multi-hop TDM vs wormhole model (A7)")
     mh.add_argument("--bytes", type=int, default=512, help="message size")

@@ -1,0 +1,206 @@
+"""The content-addressed RunSpec result cache.
+
+Every cache entry is addressed by a SHA-256 key over four components:
+
+* the runner's qualified name (which reducer produced the payload),
+* the canonical JSON of the cell (:func:`repro.exec.canonical.canonical_json`),
+* the root seed of the sweep,
+* the :func:`~repro.exec.canonical.code_fingerprint` of ``src/repro``.
+
+The fingerprint makes staleness structurally impossible: any source change
+under ``repro`` changes every key, so old entries simply stop being found
+(``repro cache clear`` reclaims the disk).  Values are the cell's metrics
+payload, pickled, with the payload digest stored alongside so
+``repro cache verify`` can detect bit rot; a corrupt or truncated entry
+reads as a miss and is recomputed, never served.
+
+The cache directory defaults to ``~/.cache/repro`` and is overridden by
+the ``REPRO_CACHE_DIR`` environment variable.  Writes are atomic
+(temp file + rename), so concurrent sweeps sharing a cache cannot observe
+half-written entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CACHE_DIR_ENV_VAR", "CacheEntry", "CacheStats", "ResultCache"]
+
+CACHE_DIR_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: bump when the on-disk entry layout changes
+_ENTRY_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, or ``~/.cache/repro``."""
+    env = os.environ.get(CACHE_DIR_ENV_VAR, "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass(slots=True, frozen=True)
+class CacheEntry:
+    """One cache hit: the payload plus what producing it originally cost."""
+
+    payload: Any
+    wall_s: float
+
+
+@dataclass(slots=True, frozen=True)
+class CacheStats:
+    """What ``repro cache stats`` reports."""
+
+    root: str
+    entries: int
+    total_bytes: int
+    #: cumulative wall-clock seconds the cached computations originally took
+    saved_wall_s: float
+
+
+class ResultCache:
+    """Content-addressed store of cell payloads under one directory."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- keys ------------------------------------------------------------------
+
+    @staticmethod
+    def key(
+        runner_id: str, cell_json: str, root_seed: int, fingerprint: str
+    ) -> str:
+        """The content address of one (runner, cell, seed, code) value."""
+        h = hashlib.sha256()
+        for part in (runner_id, cell_json, str(int(root_seed)), fingerprint):
+            h.update(part.encode())
+            h.update(b"\0")
+        return h.hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / "objects" / key[:2] / f"{key}.pkl"
+
+    # -- get / put -------------------------------------------------------------
+
+    def get(self, key: str) -> CacheEntry | None:
+        """The entry under ``key``, or None (unreadable entries are misses)."""
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        entry = self._decode(raw)
+        if entry is None or entry.get("key") != key:
+            return None
+        try:
+            payload = pickle.loads(entry["payload"])
+        except Exception:
+            return None
+        return CacheEntry(payload=payload, wall_s=float(entry["wall_s"]))
+
+    def put(
+        self,
+        key: str,
+        payload: Any,
+        *,
+        wall_s: float,
+        runner_id: str = "",
+        cell_json: str = "",
+    ) -> None:
+        """Store ``payload`` under ``key`` atomically.
+
+        An unpicklable payload raises immediately — silently uncacheable
+        cells would make warm-cache timing claims a lie.
+        """
+        payload_bytes = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        entry = {
+            "version": _ENTRY_VERSION,
+            "key": key,
+            "runner": runner_id,
+            "cell": cell_json,
+            "wall_s": float(wall_s),
+            "payload_sha256": hashlib.sha256(payload_bytes).hexdigest(),
+            "payload": payload_bytes,
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)
+
+    @staticmethod
+    def _decode(raw: bytes) -> dict | None:
+        try:
+            entry = pickle.loads(raw)
+        except Exception:
+            return None
+        if not isinstance(entry, dict) or entry.get("version") != _ENTRY_VERSION:
+            return None
+        digest = hashlib.sha256(entry.get("payload", b"")).hexdigest()
+        if digest != entry.get("payload_sha256"):
+            return None
+        return entry
+
+    # -- maintenance (the ``repro cache`` subcommand) --------------------------
+
+    def _entry_paths(self) -> list[Path]:
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(objects.rglob("*.pkl"))
+
+    def stats(self) -> CacheStats:
+        """Entry count, footprint, and the wall time the entries represent."""
+        entries = 0
+        total_bytes = 0
+        saved = 0.0
+        for path in self._entry_paths():
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                continue
+            total_bytes += len(raw)
+            entry = self._decode(raw)
+            if entry is not None:
+                entries += 1
+                saved += float(entry["wall_s"])
+        return CacheStats(
+            root=str(self.root),
+            entries=entries,
+            total_bytes=total_bytes,
+            saved_wall_s=saved,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def verify(self) -> tuple[int, list[str]]:
+        """Re-hash every entry; returns (ok_count, bad entry paths)."""
+        ok = 0
+        bad: list[str] = []
+        for path in self._entry_paths():
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                bad.append(str(path))
+                continue
+            entry = self._decode(raw)
+            if entry is None or self._path(entry.get("key", "")) != path:
+                bad.append(str(path))
+            else:
+                ok += 1
+        return ok, bad

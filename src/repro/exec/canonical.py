@@ -1,0 +1,139 @@
+"""Canonical cell encoding, seed derivation, and the code fingerprint.
+
+The execution engine (:mod:`repro.exec.engine`) identifies a run cell by
+*value*, never by position: the cache key and the per-cell seed are both
+derived from a canonical JSON encoding of the cell, so neither can depend
+on worker index, completion order, or dict insertion order.  Three pieces
+live here:
+
+* :func:`canonical_json` — a deterministic JSON encoding for the plain
+  values cells are built from (primitives, lists/tuples, string-keyed
+  dicts, and dataclasses such as :class:`~repro.params.SystemParams` or
+  the per-driver cell records).  Dataclasses are tagged with their
+  qualified class name so two cell types with identical fields can never
+  collide; anything unencodable (functions, tracers, arrays) raises
+  :class:`CellEncodingError` — such values must not ride in a cell.
+* :func:`derive_seed` — the stable per-cell seed: a SHA-256 hash of the
+  canonical encoding mixed with the root seed, masked to 63 bits.  It is
+  a pure function of (root seed, cell value); running the same cell on
+  any worker, in any order, on any machine derives the same seed.
+* :func:`code_fingerprint` — a digest over every ``.py`` file under the
+  installed ``repro`` package.  It participates in every cache key, so a
+  result computed by old code can never be served after a source change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "CellEncodingError",
+    "canonical_encode",
+    "canonical_json",
+    "derive_seed",
+    "code_fingerprint",
+]
+
+
+class CellEncodingError(ConfigurationError):
+    """A cell carries a value with no canonical encoding."""
+
+
+#: primitive types encoded as themselves
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+def canonical_encode(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-safe tree with a unique canonical form.
+
+    Tuples and lists both encode as JSON arrays (a cell's geometry is the
+    value, not the Python container); dict keys must be strings and are
+    emitted sorted; dataclass instances carry their qualified class name.
+    """
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (str, int)):
+        return obj
+    if isinstance(obj, float):
+        if obj != obj or obj in (float("inf"), float("-inf")):
+            raise CellEncodingError(f"non-finite float {obj!r} has no canonical form")
+        return obj
+    if isinstance(obj, (list, tuple)):
+        return [canonical_encode(item) for item in obj]
+    if isinstance(obj, dict):
+        out = {}
+        for key in sorted(obj):
+            if not isinstance(key, str):
+                raise CellEncodingError(
+                    f"dict key {key!r} is not a string; cells must use "
+                    "string-keyed dicts"
+                )
+            out[key] = canonical_encode(obj[key])
+        return out
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                f.name: canonical_encode(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    raise CellEncodingError(
+        f"{type(obj).__qualname__} value {obj!r} cannot ride in a run cell; "
+        "cells must be plain data (primitives, lists, string-keyed dicts, "
+        "dataclasses of those)"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON string for ``obj`` (compact, keys sorted)."""
+    return json.dumps(
+        canonical_encode(obj), sort_keys=True, separators=(",", ":")
+    )
+
+
+#: seeds are masked to 63 bits so they fit any signed 64-bit consumer
+_SEED_MASK = (1 << 63) - 1
+
+
+def derive_seed(root_seed: int, cell_key: str) -> int:
+    """The deterministic seed for the cell encoded as ``cell_key``.
+
+    ``seed = SHA256(root_seed ":" cell_key)[:8]`` — a pure function of its
+    arguments, never of worker identity or scheduling order.  Golden
+    values are pinned by the test suite; changing this function invalidates
+    every cached result (the fingerprint does that automatically) but must
+    never happen silently.
+    """
+    digest = hashlib.sha256(f"{int(root_seed)}:{cell_key}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") & _SEED_MASK
+
+
+def _package_root() -> Path:
+    from .. import __file__ as pkg_file
+
+    return Path(pkg_file).resolve().parent
+
+
+@lru_cache(maxsize=None)
+def _fingerprint_of(root: str) -> str:
+    h = hashlib.sha256()
+    base = Path(root)
+    for path in sorted(base.rglob("*.py")):
+        rel = path.relative_to(base).as_posix()
+        h.update(rel.encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+def code_fingerprint() -> str:
+    """Digest of every ``repro`` source file (cached per process)."""
+    return _fingerprint_of(str(_package_root()))

@@ -33,9 +33,11 @@ and 4 (DESIGN.md experiment ids A1–A6):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 import numpy as np
 
+from ..exec import ExecStats, map_cells
 from ..networks.base import BaseNetwork
 from ..networks.registry import RunSpec, build_network
 from ..params import PAPER_PARAMS, SystemParams
@@ -53,6 +55,10 @@ from ..types import Message
 from .common import DEFAULT_SEED, measure
 
 __all__ = [
+    "ABLATIONS",
+    "AblationCell",
+    "run_ablation_cell",
+    "run_ablations",
     "ablation_cooperative_control",
     "ablation_fabrics",
     "ablation_multiplexing_degree",
@@ -542,3 +548,69 @@ def ablation_injection_window(
             "scatter_vs_wormhole": scatter / worm_scatter,
         }
     return out
+
+
+#: ablation id -> (title, runner); the CLI and the report driver both
+#: resolve through this table, and :func:`run_ablation_cell` dispatches on
+#: the id so each ablation is one cacheable run cell
+ABLATIONS: dict[str, tuple[str, Callable[..., dict]]] = {
+    "a1": ("SL units", ablation_sl_units),
+    "a2": ("multi-slot connections", ablation_multislot),
+    "a3": ("eviction predictors", ablation_predictors),
+    "a4": ("guard band", ablation_guard_band),
+    "a5": ("priority rotation", ablation_rotation_fairness),
+    "a6": ("idle-slot skipping", ablation_idle_slot_skipping),
+    "a8": ("multiplexing degree", ablation_multiplexing_degree),
+    "a9": ("Markov prefetching", ablation_prefetching),
+    "a10": ("fabric constraints", ablation_fabrics),
+    "a11": ("cooperative control", ablation_cooperative_control),
+    "a12": ("injection window sensitivity", ablation_injection_window),
+}
+
+
+@dataclass(slots=True, frozen=True)
+class AblationCell:
+    """One ablation as a run cell: the id plus everything it varies on."""
+
+    key: str
+    params: SystemParams
+    seed: int
+
+
+def run_ablation_cell(cell: AblationCell) -> dict:
+    """Run one ablation at its default knobs (the engine's runner)."""
+    return ABLATIONS[cell.key][1](params=cell.params, seed=cell.seed)
+
+
+def run_ablations(
+    keys: Sequence[str] | None = None,
+    params: SystemParams = PAPER_PARAMS,
+    seed: int = DEFAULT_SEED,
+    *,
+    jobs: int | None = None,
+    cache: object | None = None,
+    refresh: bool = False,
+    progress: bool = False,
+) -> tuple[dict[str, dict], ExecStats]:
+    """Run the requested ablations (all by default), fanned out per cell.
+
+    Returns ``(id -> metrics dict, executor stats)`` with ids in the
+    requested order.  Each ablation is internally serial (its settings
+    share networks and predictors), so the cell grain is the ablation.
+    """
+    wanted = list(keys or ABLATIONS)
+    for key in wanted:
+        if key not in ABLATIONS:
+            raise KeyError(key)
+    cells = [AblationCell(key=key, params=params, seed=seed) for key in wanted]
+    outcome = map_cells(
+        run_ablation_cell,
+        cells,
+        root_seed=seed,
+        jobs=jobs,
+        cache=cache,
+        refresh=refresh,
+        label="ablations",
+        progress=progress,
+    )
+    return dict(zip(wanted, outcome.payloads)), outcome.stats

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Sequence
 
+from ..exec import ExecStats, map_cells
 from ..faults.injector import FaultInjector
 from ..faults.schedule import FaultSchedule
 from ..metrics.degradation import DegradationReport, degradation_report
@@ -37,7 +38,14 @@ from ..sim.rng import RngStreams
 from ..traffic.hybrid import HybridPattern
 from .common import DEFAULT_SEED, figure4_schemes
 
-__all__ = ["FAULT_RATES", "FaultPoint", "FaultsResult", "run_faults"]
+__all__ = [
+    "FAULT_RATES",
+    "FaultCell",
+    "run_fault_cell",
+    "FaultPoint",
+    "FaultsResult",
+    "run_faults",
+]
 
 #: fault arrival rates swept, in faults per microsecond of simulated time
 FAULT_RATES: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0)
@@ -54,6 +62,63 @@ class FaultPoint:
     counters: dict[str, int]
 
 
+@dataclass(slots=True, frozen=True)
+class FaultCell:
+    """One (scheme, rate) campaign as a run cell.
+
+    ``rate_per_us == 0`` is the healthy baseline (no injector, unlimited
+    wall clock); ``horizon_ps`` is 0 there because no storm is generated.
+    For faulted cells the horizon rides in the cell — it is derived from
+    the healthy makespans, so the cache key of a campaign automatically
+    changes when the healthy behaviour does.
+    """
+
+    scheme: str
+    rate_per_us: float
+    horizon_ps: int
+    params: SystemParams
+    size_bytes: int
+    messages_per_node: int
+    n_static: int
+    k: int
+    injection_window: int | None
+    seed: int
+    max_wall_s: float | None
+
+
+def run_fault_cell(cell: FaultCell) -> FaultPoint:
+    """Run one fault campaign (or healthy baseline) cell."""
+    factories = _scheme_factories(cell.params, cell.k, cell.injection_window)
+    pattern = HybridPattern(
+        cell.params.n_ports,
+        cell.size_bytes,
+        determinism=1.0,
+        messages_per_node=cell.messages_per_node,
+        n_static=cell.n_static,
+    )
+    if cell.rate_per_us == 0.0:
+        net = factories[cell.scheme](None)
+    else:
+        schedule = FaultSchedule.generate(
+            seed=cell.seed,
+            rate_per_us=cell.rate_per_us,
+            horizon_ps=cell.horizon_ps,
+            n_ports=cell.params.n_ports,
+            k=cell.k,
+        )
+        net = factories[cell.scheme](FaultInjector(schedule))
+        net.max_wall_s = cell.max_wall_s
+    run = net.run(pattern.phases(RngStreams(cell.seed)), pattern_name=pattern.name)
+    report = degradation_report(run)
+    return FaultPoint(
+        scheme=cell.scheme,
+        rate_per_us=cell.rate_per_us,
+        report=report,
+        makespan_ps=run.makespan_ps,
+        counters=run.counters,
+    )
+
+
 @dataclass
 class FaultsResult:
     """Per-scheme degradation series, aligned with ``rates``."""
@@ -63,6 +128,9 @@ class FaultsResult:
     bandwidth: dict[str, list[float]] = field(default_factory=dict)
     recovery_p99_ns: dict[str, list[float]] = field(default_factory=dict)
     points: list[FaultPoint] = field(default_factory=list)
+    #: executor telemetry: the healthy-baseline and campaign stages
+    healthy_exec_stats: ExecStats | None = None
+    exec_stats: ExecStats | None = None
 
     def point(self, scheme: str, rate: float) -> FaultPoint:
         for p in self.points:
@@ -134,11 +202,20 @@ def run_faults(
     injection_window: int | None = 4,
     seed: int = DEFAULT_SEED,
     max_wall_s: float | None = 300.0,
+    *,
+    jobs: int | None = None,
+    cache: object | None = None,
+    refresh: bool = False,
+    progress: bool = False,
 ) -> FaultsResult:
     """Run the fault-rate x scheme campaign grid.
 
     Deterministic end to end: the same (seed, rate, scheme) triple always
-    reproduces bit-identical fault timelines, drops, and metrics.
+    reproduces bit-identical fault timelines, drops, and metrics — for any
+    job count.  Two fan-out stages: the healthy baselines run first (they
+    are the rate-0 row *and* they size the storm horizon — 2x the slowest
+    healthy makespan keeps even badly stretched faulted runs under fire
+    throughout), then every (rate > 0, scheme) campaign runs.
     """
     factories = _scheme_factories(params, k, injection_window)
     if schemes is not None:
@@ -146,56 +223,57 @@ def run_faults(
         if unknown:
             raise ValueError(f"unknown schemes {sorted(unknown)}")
         factories = {name: factories[name] for name in schemes}
-    pattern = HybridPattern(
-        params.n_ports,
-        size_bytes,
-        determinism=1.0,
-        messages_per_node=messages_per_node,
-        n_static=n_static,
+
+    def cell(scheme: str, rate: float, horizon_ps: int) -> FaultCell:
+        return FaultCell(
+            scheme=scheme,
+            rate_per_us=rate,
+            horizon_ps=horizon_ps,
+            params=params,
+            size_bytes=size_bytes,
+            messages_per_node=messages_per_node,
+            n_static=n_static,
+            k=k,
+            injection_window=injection_window,
+            seed=seed,
+            max_wall_s=None if rate == 0.0 else max_wall_s,
+        )
+
+    exec_opts = dict(
+        root_seed=seed, jobs=jobs, cache=cache, refresh=refresh, progress=progress
+    )
+    healthy_outcome = map_cells(
+        run_fault_cell,
+        [cell(name, 0.0, 0) for name in factories],
+        label="faults-healthy",
+        **exec_opts,
+    )
+    healthy = dict(zip(factories, healthy_outcome.payloads))
+    horizon_ps = 2 * max(p.makespan_ps for p in healthy.values())
+
+    campaign_rates = [rate for rate in rates if rate != 0.0]
+    campaign_outcome = map_cells(
+        run_fault_cell,
+        [cell(name, rate, horizon_ps) for rate in campaign_rates for name in factories],
+        label="faults",
+        **exec_opts,
     )
 
-    # healthy baselines first: they are the rate-0 row and they size the
-    # storm horizon (2x the slowest healthy makespan keeps even badly
-    # stretched faulted runs under fire throughout)
-    healthy = {
-        name: make(None).run(pattern.phases(RngStreams(seed)), pattern_name=pattern.name)
-        for name, make in factories.items()
-    }
-    horizon_ps = 2 * max(r.makespan_ps for r in healthy.values())
-
-    result = FaultsResult(rates=tuple(rates))
+    result = FaultsResult(
+        rates=tuple(rates),
+        healthy_exec_stats=healthy_outcome.stats,
+        exec_stats=campaign_outcome.stats,
+    )
     for name in factories:
         result.delivered[name] = []
         result.bandwidth[name] = []
         result.recovery_p99_ns[name] = []
+    campaign_points = iter(campaign_outcome.payloads)
     for rate in result.rates:
-        schedule = FaultSchedule.generate(
-            seed=seed,
-            rate_per_us=rate,
-            horizon_ps=horizon_ps,
-            n_ports=params.n_ports,
-            k=k,
-        )
-        for name, make in factories.items():
-            if rate == 0.0:
-                run = healthy[name]
-            else:
-                net = make(FaultInjector(schedule))
-                net.max_wall_s = max_wall_s
-                run = net.run(
-                    pattern.phases(RngStreams(seed)), pattern_name=pattern.name
-                )
-            report = degradation_report(run)
-            result.points.append(
-                FaultPoint(
-                    scheme=name,
-                    rate_per_us=rate,
-                    report=report,
-                    makespan_ps=run.makespan_ps,
-                    counters=run.counters,
-                )
-            )
-            result.delivered[name].append(report.delivered_fraction)
-            result.bandwidth[name].append(report.effective_bw_bytes_per_ns)
-            result.recovery_p99_ns[name].append(report.recovery_p99_ns)
+        for name in factories:
+            point = healthy[name] if rate == 0.0 else next(campaign_points)
+            result.points.append(point)
+            result.delivered[name].append(point.report.delivered_fraction)
+            result.bandwidth[name].append(point.report.effective_bw_bytes_per_ns)
+            result.recovery_p99_ns[name].append(point.report.recovery_p99_ns)
     return result

@@ -20,17 +20,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from ..exec import ExecStats, map_cells
 from ..metrics.report import format_csv, format_series
+from ..networks.registry import DEFAULT_INJECTION_WINDOW, RunSpec, build_network
 from ..params import PAPER_PARAMS, SystemParams
 from ..traffic.base import TrafficPattern
 from ..traffic.mesh import OrderedMeshPattern, RandomMeshPattern
 from ..traffic.scatter import ScatterPattern
 from ..traffic.twophase import TwoPhasePattern
-from .common import DEFAULT_SEED, ExperimentPoint, figure4_schemes, measure
+from .common import DEFAULT_SEED, FIGURE4_SCHEMES, ExperimentPoint, measure
 
 __all__ = [
     "MESSAGE_SIZES",
+    "Figure4Cell",
     "figure4_patterns",
+    "run_figure4_cell",
     "Figure4Result",
     "run_figure4",
 ]
@@ -52,6 +56,42 @@ def figure4_patterns(
     }
 
 
+@dataclass(slots=True, frozen=True)
+class Figure4Cell:
+    """One independent Figure 4 run cell: (pattern, scheme, size).
+
+    A cell is a plain value (see :mod:`repro.exec.canonical`): everything
+    the simulation depends on rides inside it, so the execution engine can
+    address its payload by content.  The workload ``seed`` is the sweep's
+    root seed — every scheme must face the byte-identical traffic
+    realisation (the comparison rule in :mod:`repro.experiments.common`),
+    so cells deliberately do *not* use per-cell derived seeds.
+    """
+
+    pattern: str
+    scheme: str
+    size_bytes: int
+    params: SystemParams
+    k: int
+    mesh_rounds: int
+    nn_rounds: int
+    seed: int
+
+
+def run_figure4_cell(cell: Figure4Cell) -> ExperimentPoint:
+    """Simulate one Figure 4 cell (the engine's runner function)."""
+    make_pattern = figure4_patterns(cell.params, cell.mesh_rounds, cell.nn_rounds)
+    network = build_network(
+        RunSpec(
+            scheme=cell.scheme,
+            params=cell.params,
+            k=cell.k,
+            injection_window=DEFAULT_INJECTION_WINDOW,
+        )
+    )
+    return measure(make_pattern[cell.pattern](cell.size_bytes), network, seed=cell.seed)
+
+
 @dataclass
 class Figure4Result:
     """Efficiency series per pattern per scheme, aligned with ``sizes``."""
@@ -59,6 +99,8 @@ class Figure4Result:
     sizes: tuple[int, ...]
     series: dict[str, dict[str, list[float]]] = field(default_factory=dict)
     points: list[ExperimentPoint] = field(default_factory=list)
+    #: executor telemetry for the sweep that produced this result
+    exec_stats: ExecStats | None = None
 
     def efficiency(self, pattern: str, scheme: str, size: int) -> float:
         return self.series[pattern][scheme][self.sizes.index(size)]
@@ -89,25 +131,62 @@ def run_figure4(
     mesh_rounds: int = 4,
     nn_rounds: int = 16,
     seed: int = DEFAULT_SEED,
+    *,
+    jobs: int | None = None,
+    cache: object | None = None,
+    refresh: bool = False,
+    progress: bool = False,
 ) -> Figure4Result:
     """Run (a subset of) the Figure 4 sweep.
 
     ``patterns``/``schemes`` restrict the grid (None = everything); the
     benchmarks run panels separately so each appears as its own bench.
+    Cells fan out over ``jobs`` worker processes (see
+    :func:`repro.exec.resolve_jobs`); the result is bit-identical for any
+    job count, and ``jobs=1`` runs everything in-process in grid order.
     """
     pattern_factories = figure4_patterns(params, mesh_rounds, nn_rounds)
-    scheme_factories = figure4_schemes(params, k=k)
     wanted_patterns = list(patterns or pattern_factories)
-    wanted_schemes = list(schemes or scheme_factories)
-    result = Figure4Result(sizes=tuple(sizes))
+    wanted_schemes = list(schemes or FIGURE4_SCHEMES)
+    for name in wanted_patterns:
+        if name not in pattern_factories:
+            raise KeyError(name)
+    for name in wanted_schemes:
+        if name not in FIGURE4_SCHEMES:
+            raise KeyError(name)
+    cells = [
+        Figure4Cell(
+            pattern=pattern_name,
+            scheme=scheme_name,
+            size_bytes=size,
+            params=params,
+            k=k,
+            mesh_rounds=mesh_rounds,
+            nn_rounds=nn_rounds,
+            seed=seed,
+        )
+        for pattern_name in wanted_patterns
+        for scheme_name in wanted_schemes
+        for size in sizes
+    ]
+    outcome = map_cells(
+        run_figure4_cell,
+        cells,
+        root_seed=seed,
+        jobs=jobs,
+        cache=cache,
+        refresh=refresh,
+        label="figure4",
+        progress=progress,
+    )
+    result = Figure4Result(sizes=tuple(sizes), exec_stats=outcome.stats)
+    points = iter(outcome.payloads)
     for pattern_name in wanted_patterns:
-        make_pattern = pattern_factories[pattern_name]
         result.series[pattern_name] = {}
         for scheme_name in wanted_schemes:
-            make_network = scheme_factories[scheme_name]
             series: list[float] = []
-            for size in sizes:
-                point = measure(make_pattern(size), make_network(), seed=seed)
+            for _ in sizes:
+                point = next(points)
                 series.append(point.efficiency)
                 result.points.append(point)
             result.series[pattern_name][scheme_name] = series

@@ -16,13 +16,60 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..exec import ExecStats, map_cells
 from ..metrics.report import format_csv, format_series
 from ..networks.registry import RunSpec, build_network
 from ..params import PAPER_PARAMS, SystemParams
 from ..traffic.hybrid import HybridPattern
 from .common import DEFAULT_SEED, ExperimentPoint, measure
 
-__all__ = ["DETERMINISM_SWEEP", "Figure5Result", "run_figure5"]
+__all__ = [
+    "DETERMINISM_SWEEP",
+    "Figure5Cell",
+    "run_figure5_cell",
+    "Figure5Result",
+    "run_figure5",
+]
+
+
+@dataclass(slots=True, frozen=True)
+class Figure5Cell:
+    """One hybrid-sweep cell: (k_preload, determinism).
+
+    ``seed`` is the sweep's root seed so every preload split faces the
+    identical traffic realisation (the cross-scheme comparison rule).
+    """
+
+    k_preload: int
+    determinism: float
+    params: SystemParams
+    k_total: int
+    size_bytes: int
+    messages_per_node: int
+    n_static: int
+    injection_window: int | None
+    seed: int
+
+
+def run_figure5_cell(cell: Figure5Cell) -> ExperimentPoint:
+    """Simulate one Figure 5 cell (the engine's runner function)."""
+    pattern = HybridPattern(
+        cell.params.n_ports,
+        cell.size_bytes,
+        determinism=cell.determinism,
+        messages_per_node=cell.messages_per_node,
+        n_static=cell.n_static,
+    )
+    network = build_network(
+        RunSpec(
+            scheme="dynamic-tdm" if cell.k_preload == 0 else "hybrid",
+            params=cell.params,
+            k=cell.k_total,
+            k_preload=cell.k_preload or None,
+            injection_window=cell.injection_window,
+        )
+    )
+    return measure(pattern, network, seed=cell.seed)
 
 #: determinism fractions swept in Figure 5
 DETERMINISM_SWEEP: tuple[float, ...] = (0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 1.0)
@@ -36,6 +83,8 @@ class Figure5Result:
     k_total: int
     series: dict[str, list[float]] = field(default_factory=dict)
     points: list[ExperimentPoint] = field(default_factory=list)
+    #: executor telemetry for the sweep that produced this result
+    exec_stats: ExecStats | None = None
 
     def efficiency(self, k_preload: int, det: float) -> float:
         key = self._key(k_preload)
@@ -66,34 +115,53 @@ def run_figure5(
     n_static: int = 2,
     injection_window: int | None = 4,
     seed: int = DEFAULT_SEED,
+    *,
+    jobs: int | None = None,
+    cache: object | None = None,
+    refresh: bool = False,
+    progress: bool = False,
 ) -> Figure5Result:
     """Run the Figure 5 sweep.
 
     ``size_bytes`` defaults to 64 (one slot per message, the regime where
     scheduling overheads — the thing the sweep studies — dominate).
+    Cells fan out over ``jobs`` worker processes; output is bit-identical
+    for any job count.
     """
-    result = Figure5Result(determinism=tuple(determinism), k_total=k_total)
+    cells = [
+        Figure5Cell(
+            k_preload=k_preload,
+            determinism=det,
+            params=params,
+            k_total=k_total,
+            size_bytes=size_bytes,
+            messages_per_node=messages_per_node,
+            n_static=n_static,
+            injection_window=injection_window,
+            seed=seed,
+        )
+        for k_preload in k_preloads
+        for det in determinism
+    ]
+    outcome = map_cells(
+        run_figure5_cell,
+        cells,
+        root_seed=seed,
+        jobs=jobs,
+        cache=cache,
+        refresh=refresh,
+        label="figure5",
+        progress=progress,
+    )
+    result = Figure5Result(
+        determinism=tuple(determinism), k_total=k_total, exec_stats=outcome.stats
+    )
+    points = iter(outcome.payloads)
     for k_preload in k_preloads:
         key = result._key(k_preload)
         series: list[float] = []
-        for det in determinism:
-            pattern = HybridPattern(
-                params.n_ports,
-                size_bytes,
-                determinism=det,
-                messages_per_node=messages_per_node,
-                n_static=n_static,
-            )
-            network = build_network(
-                RunSpec(
-                    scheme="dynamic-tdm" if k_preload == 0 else "hybrid",
-                    params=params,
-                    k=k_total,
-                    k_preload=k_preload or None,
-                    injection_window=injection_window,
-                )
-            )
-            point = measure(pattern, network, seed=seed)
+        for _ in determinism:
+            point = next(points)
             series.append(point.efficiency)
             result.points.append(point)
         result.series[key] = series

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from ..exec import ExecStats, map_cells
 from ..metrics.latencies import summarize_latencies
 from ..metrics.report import format_csv, format_series
 from ..networks.base import BaseNetwork
@@ -28,9 +29,51 @@ from ..sim.rng import RngStreams
 from ..traffic.openloop import OpenLoopUniformPattern
 from .common import DEFAULT_SEED
 
-__all__ = ["LOADS", "LoadLatencyResult", "run_load_latency"]
+__all__ = [
+    "LOADS",
+    "LoadLatencyCell",
+    "run_load_latency_cell",
+    "LoadLatencyResult",
+    "run_load_latency",
+]
 
 LOADS: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+@dataclass(slots=True, frozen=True)
+class LoadLatencyCell:
+    """One load–latency cell: (scheme, offered load).
+
+    ``seed`` is the sweep's root seed so all three schemes face the same
+    Poisson arrival realisation at each load point.
+    """
+
+    scheme: str
+    load: float
+    params: SystemParams
+    size_bytes: int
+    duration_ns: float
+    k: int
+    seed: int
+
+
+def run_load_latency_cell(cell: LoadLatencyCell) -> float:
+    """Simulate one cell; the payload is the mean latency in ns."""
+    pattern = OpenLoopUniformPattern(
+        cell.params.n_ports,
+        cell.size_bytes,
+        load=cell.load,
+        duration_ns=cell.duration_ns,
+        byte_ps=cell.params.byte_ps,
+    )
+    # open-loop traffic needs unbounded injection (window=None): latency
+    # under offered load is measured from injection, not send admission
+    network: BaseNetwork = build_network(
+        RunSpec(scheme=cell.scheme, params=cell.params, k=cell.k, injection_window=None)
+    )
+    phases = pattern.phases(RngStreams(cell.seed))
+    run = network.run(phases, pattern_name=pattern.name)
+    return summarize_latencies(run).mean_ns
 
 
 @dataclass
@@ -39,6 +82,8 @@ class LoadLatencyResult:
 
     loads: tuple[float, ...]
     series: dict[str, list[float]] = field(default_factory=dict)
+    #: executor telemetry for the sweep that produced this result
+    exec_stats: ExecStats | None = None
 
     def latency(self, scheme: str, load: float) -> float:
         return self.series[scheme][self.loads.index(load)]
@@ -63,28 +108,39 @@ def run_load_latency(
     duration_ns: float = 20_000.0,
     k: int = 4,
     seed: int = DEFAULT_SEED,
+    *,
+    jobs: int | None = None,
+    cache: object | None = None,
+    refresh: bool = False,
+    progress: bool = False,
 ) -> LoadLatencyResult:
     """Sweep offered load for the three run-time schemes."""
-    # open-loop traffic needs unbounded injection (window=None): latency
-    # under offered load is measured from injection, not send admission
-    specs = {
-        scheme: RunSpec(scheme=scheme, params=params, k=k, injection_window=None)
-        for scheme in ("wormhole", "circuit", "dynamic-tdm")
-    }
-    result = LoadLatencyResult(loads=tuple(loads))
-    for scheme, spec in specs.items():
-        series: list[float] = []
-        for load in loads:
-            pattern = OpenLoopUniformPattern(
-                params.n_ports,
-                size_bytes,
-                load=load,
-                duration_ns=duration_ns,
-                byte_ps=params.byte_ps,
-            )
-            network: BaseNetwork = build_network(spec)
-            phases = pattern.phases(RngStreams(seed))
-            run = network.run(phases, pattern_name=pattern.name)
-            series.append(summarize_latencies(run).mean_ns)
-        result.series[scheme] = series
+    schemes = ("wormhole", "circuit", "dynamic-tdm")
+    cells = [
+        LoadLatencyCell(
+            scheme=scheme,
+            load=load,
+            params=params,
+            size_bytes=size_bytes,
+            duration_ns=duration_ns,
+            k=k,
+            seed=seed,
+        )
+        for scheme in schemes
+        for load in loads
+    ]
+    outcome = map_cells(
+        run_load_latency_cell,
+        cells,
+        root_seed=seed,
+        jobs=jobs,
+        cache=cache,
+        refresh=refresh,
+        label="load-latency",
+        progress=progress,
+    )
+    result = LoadLatencyResult(loads=tuple(loads), exec_stats=outcome.stats)
+    means = iter(outcome.payloads)
+    for scheme in schemes:
+        result.series[scheme] = [next(means) for _ in loads]
     return result

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from io import StringIO
 
+from ..exec import ExecStats
 from ..params import PAPER_PARAMS, SystemParams
 from .common import DEFAULT_SEED
 from .figure4 import MESSAGE_SIZES, run_figure4
@@ -27,12 +28,27 @@ def run_all(
     params: SystemParams = PAPER_PARAMS,
     quick: bool = False,
     seed: int = DEFAULT_SEED,
+    *,
+    jobs: int | None = None,
+    cache: object | None = None,
+    refresh: bool = False,
+    progress: bool = False,
+    stats_sink: list[ExecStats] | None = None,
 ) -> str:
-    """Regenerate every artifact and return the markdown report."""
+    """Regenerate every artifact and return the markdown report.
+
+    When ``stats_sink`` is a list, each sweep's executor stats are
+    appended to it as the sweep finishes.
+    """
     sizes = (32, 128, 512) if quick else MESSAGE_SIZES
     determinism = (0.5, 0.85, 1.0) if quick else DETERMINISM_SWEEP
     loads = (0.2, 0.6) if quick else LOADS
     messages_per_node = 16 if quick else 64
+    exec_opts = dict(jobs=jobs, cache=cache, refresh=refresh, progress=progress)
+
+    def sink(stats: ExecStats | None) -> None:
+        if stats_sink is not None and stats is not None:
+            stats_sink.append(stats)
 
     out = StringIO()
     out.write("# Reproduction report\n\n")
@@ -46,7 +62,8 @@ def run_all(
     out.write("```\n\n")
 
     out.write("## Figure 4 — efficiency vs message size\n\n```\n")
-    fig4 = run_figure4(params=params, sizes=sizes, seed=seed)
+    fig4 = run_figure4(params=params, sizes=sizes, seed=seed, **exec_opts)
+    sink(fig4.exec_stats)
     out.write(fig4.format())
     out.write("\n```\n\n")
 
@@ -56,7 +73,9 @@ def run_all(
         determinism=determinism,
         messages_per_node=messages_per_node,
         seed=seed,
+        **exec_opts,
     )
+    sink(fig5.exec_stats)
     out.write(fig5.format())
     out.write("```\n\n")
 
@@ -66,7 +85,9 @@ def run_all(
         loads=loads,
         duration_ns=3_000.0 if quick else 10_000.0,
         seed=seed,
+        **exec_opts,
     )
+    sink(ll.exec_stats)
     out.write(ll.format())
     out.write("```\n")
     return out.getvalue()

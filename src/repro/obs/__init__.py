@@ -9,6 +9,7 @@ reports (:mod:`~repro.obs.profile`).
 """
 
 from .events import CATEGORIES, SPAN_RULES, TRANSFER_KINDS, Kind, SpanRule
+from .executor import format_exec_stats
 from .exporters import (
     Span,
     TracedRun,
@@ -50,4 +51,5 @@ __all__ = [
     "ProfileReport",
     "profile_run",
     "format_perf",
+    "format_exec_stats",
 ]

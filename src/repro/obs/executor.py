@@ -1,0 +1,33 @@
+"""Executor telemetry rendered through the observability vocabulary.
+
+The execution engine (:mod:`repro.exec.engine`) measures every sweep —
+cells run vs served from cache, per-cell wall time, pool utilization, and
+the speedup over a cold serial run — and reports it as an
+:class:`~repro.exec.engine.ExecStats`.  This module renders those
+counters in the same aligned style as the simulator perf counters, so
+``repro ... --perf`` output reads as one report.
+"""
+
+from __future__ import annotations
+
+from ..exec import ExecStats
+from .profile import format_perf
+
+__all__ = ["format_exec_stats"]
+
+
+def format_exec_stats(stats: ExecStats) -> str:
+    """Render one sweep's executor counters as aligned lines."""
+    out = [f"=== executor: {stats.label} ===", format_perf(stats.as_counters())]
+    wall = [w for w in stats.cell_wall if w > 0]
+    if wall:
+        out.append(
+            format_perf(
+                {
+                    "cell_wall_min_s": min(wall),
+                    "cell_wall_max_s": max(wall),
+                    "cell_wall_mean_s": sum(wall) / len(wall),
+                }
+            )
+        )
+    return "\n".join(out)

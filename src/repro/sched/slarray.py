@@ -162,12 +162,25 @@ def wavefront_sparse(
     if len(l_rows) == 0:
         return out
     a, b = rotation[0] % n, rotation[1] % n
-    # Sort cells into the rotated row-major traversal order.
+    # Sort cells into the rotated row-major traversal order.  Callers
+    # overwhelmingly pass np.nonzero(L) coordinates, which are already
+    # row-major — with the default (0, 0) rotation the rotated order is
+    # the given order and the O(nnz log nnz) lexsort is pure overhead, so
+    # an O(nnz) monotonicity check skips it (lexsort is stable, so an
+    # already-sorted input yields the identity permutation anyway).
     ru = (l_rows - a) % n
     rv = (l_cols - b) % n
-    order = np.lexsort((rv, ru))
-    us = l_rows[order]
-    vs = l_cols[order]
+    if ru.size < 2:
+        presorted = True
+    else:
+        dr = np.diff(ru)
+        presorted = bool(np.all((dr > 0) | ((dr == 0) & (np.diff(rv) > 0))))
+    if presorted:
+        us, vs = l_rows, l_cols
+    else:
+        order = np.lexsort((rv, ru))
+        us = l_rows[order]
+        vs = l_cols[order]
 
     a_sig = np.asarray(ao, dtype=bool).copy()
     d_sig = np.asarray(ai, dtype=bool).copy()  # per-row running D signal

@@ -105,6 +105,8 @@ class Simulator:
     heap_high_water: int = 0
     #: cumulative wall-clock seconds spent inside :meth:`run`
     run_wall_s: float = 0.0
+    #: how many times the heap was rebuilt to shed cancelled entries
+    compactions: int = 0
     #: cancelled events currently sitting in the heap (lazy-deletion debt)
     _dead_in_heap: int = 0
 
@@ -169,10 +171,16 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Rebuild the heap keeping only live events."""
-        self._heap = [entry for entry in self._heap if entry[3].fn is not None]
+        """Rebuild the heap keeping only live events.
+
+        In place (``[:]``), never rebinding: :meth:`run` holds a local
+        reference to the heap list across callbacks, and a callback's
+        ``cancel()`` can compact mid-loop.
+        """
+        self._heap[:] = [entry for entry in self._heap if entry[3].fn is not None]
         heapq.heapify(self._heap)
         self._dead_in_heap = 0
+        self.compactions += 1
 
     #: events between wall-clock watchdog checks (a power of two so the
     #: test ``executed & MASK`` compiles to one AND per event)
@@ -208,15 +216,24 @@ class Simulator:
             wall_start + max_wall_s if max_wall_s is not None else None
         )
         stride = self._WATCHDOG_STRIDE - 1
+        # hot-loop locals: attribute lookups on ``heapq``/``time``/``self``
+        # cost a dict probe per event at millions of events per run.  The
+        # heap binding survives callbacks because _compact rebuilds it in
+        # place; _stopped/_dead_in_heap stay attribute accesses (callbacks
+        # mutate them mid-loop); events_executed is flushed in the finally.
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        monotonic = time.monotonic
         try:
-            while self._heap and not self._stopped:
-                entry = heapq.heappop(self._heap)
+            while heap and not self._stopped:
+                entry = heappop(heap)
                 ev = entry[3]
                 if ev.fn is None:
                     self._dead_in_heap -= 1
                     continue
                 if until is not None and ev.time > until:
-                    heapq.heappush(self._heap, entry)
+                    heappush(heap, entry)
                     self.now = until
                     break
                 if ev.time < self.now:  # pragma: no cover - heap guarantees order
@@ -229,7 +246,6 @@ class Simulator:
                 ev.fn = None
                 fn(*args)
                 executed += 1
-                self.events_executed += 1
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events}; likely a runaway loop"
@@ -237,15 +253,17 @@ class Simulator:
                 if (
                     deadline is not None
                     and (executed & stride) == 0
-                    and time.monotonic() > deadline
+                    and monotonic() > deadline
                 ):
                     raise SimulationError(
                         f"wall-clock watchdog tripped after {max_wall_s} s: "
                         f"sim time {self.now} ps, {executed} events this run "
-                        f"({self.events_executed} total), {len(self._heap)} queued"
+                        f"({self.events_executed + executed} total), "
+                        f"{len(heap)} queued"
                     )
         finally:
-            self.run_wall_s += time.monotonic() - wall_start
+            self.events_executed += executed
+            self.run_wall_s += monotonic() - wall_start
         return self.now
 
     def run_until_idle(
@@ -294,6 +312,7 @@ class Simulator:
                 self.events_cancelled / scheduled if scheduled else 0.0
             ),
             "heap_high_water": self.heap_high_water,
+            "compactions": self.compactions,
             "pending": self.pending,
             "run_wall_s": self.run_wall_s,
             "events_per_sec": (

@@ -1,0 +1,101 @@
+"""Content-addressed result cache unit tests."""
+
+from __future__ import annotations
+
+import os
+
+from repro.exec import CACHE_DIR_ENV_VAR, ResultCache
+from repro.exec.cache import default_cache_dir
+
+
+def _key(cell: str = "c1", fingerprint: str = "f" * 64) -> str:
+    return ResultCache.key("tests:runner", cell, 42, fingerprint)
+
+
+class TestKeys:
+    def test_key_covers_every_component(self):
+        base = _key()
+        assert ResultCache.key("tests:other", "c1", 42, "f" * 64) != base
+        assert _key(cell="c2") != base
+        assert ResultCache.key("tests:runner", "c1", 43, "f" * 64) != base
+        assert _key(fingerprint="e" * 64) != base
+
+    def test_default_dir_honours_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+        assert ResultCache().root == tmp_path / "alt"
+
+
+class TestGetPut:
+    def test_roundtrip(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put(_key(), {"eff": 0.5}, wall_s=1.25)
+        hit = store.get(_key())
+        assert hit is not None
+        assert hit.payload == {"eff": 0.5}
+        assert hit.wall_s == 1.25
+
+    def test_absent_is_miss(self, tmp_path):
+        assert ResultCache(tmp_path).get(_key()) is None
+
+    def test_different_fingerprint_is_miss(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put(_key(fingerprint="a" * 64), 1, wall_s=0.1)
+        assert store.get(_key(fingerprint="b" * 64)) is None
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put(_key(), [1, 2], wall_s=0.1)
+        path = store._path(_key())
+        path.write_bytes(path.read_bytes()[:-7])
+        assert store.get(_key()) is None
+
+    def test_garbage_entry_is_miss(self, tmp_path):
+        store = ResultCache(tmp_path)
+        path = store._path(_key())
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert store.get(_key()) is None
+
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put(_key(), 1, wall_s=0.1)
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
+        assert [p.suffix for p in leftovers] == [".pkl"]
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, tmp_path):
+        store = ResultCache(tmp_path)
+        assert store.stats().entries == 0
+        store.put(_key("c1"), 1, wall_s=1.0)
+        store.put(_key("c2"), 2, wall_s=2.5)
+        s = store.stats()
+        assert s.entries == 2
+        assert s.total_bytes > 0
+        assert s.saved_wall_s == 3.5
+        assert s.root == str(tmp_path)
+        assert store.clear() == 2
+        assert store.stats().entries == 0
+
+    def test_verify_flags_corruption(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put(_key("c1"), 1, wall_s=1.0)
+        store.put(_key("c2"), 2, wall_s=1.0)
+        assert store.verify() == (2, [])
+        victim = store._path(_key("c2"))
+        victim.write_bytes(victim.read_bytes()[:-3])
+        ok, bad = store.verify()
+        assert ok == 1
+        assert bad == [str(victim)]
+
+    def test_verify_flags_misfiled_entries(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put(_key("c1"), 1, wall_s=1.0)
+        src = store._path(_key("c1"))
+        wrong = store._path(_key("c2"))
+        wrong.parent.mkdir(parents=True, exist_ok=True)
+        os.rename(src, wrong)
+        ok, bad = store.verify()
+        assert ok == 0
+        assert bad == [str(wrong)]

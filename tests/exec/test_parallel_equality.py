@@ -1,0 +1,88 @@
+"""Parallel-vs-serial bit-equality for the migrated sweep drivers.
+
+The tentpole guarantee: for every driver and every scheme, the result of a
+sweep is byte-identical whether it ran in-process (``jobs=1``), on a small
+pool, or on a large pool — and whether the payloads came from the
+simulator or from the content-addressed cache.  ``ExperimentPoint`` and
+``FaultPoint`` are value types, so ``==`` compares every field including
+the counters dicts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import FIGURE4_SCHEMES
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.faults import run_faults
+from repro.experiments.loadlatency import run_load_latency
+from repro.params import PAPER_PARAMS
+
+PARAMS = PAPER_PARAMS.with_overrides(n_ports=8)
+
+
+@pytest.fixture(scope="module")
+def figure4_serial():
+    return run_figure4(
+        params=PARAMS, sizes=(8, 64), patterns=("scatter", "two-phase"), jobs=1
+    )
+
+
+class TestFigure4:
+    def test_covers_all_four_schemes(self, figure4_serial):
+        for pattern in ("scatter", "two-phase"):
+            assert tuple(figure4_serial.series[pattern]) == FIGURE4_SCHEMES
+
+    @pytest.mark.parametrize("jobs", [2, 8])
+    def test_bit_identical_across_job_counts(self, figure4_serial, jobs):
+        result = run_figure4(
+            params=PARAMS, sizes=(8, 64), patterns=("scatter", "two-phase"), jobs=jobs
+        )
+        assert result.series == figure4_serial.series
+        assert result.points == figure4_serial.points
+
+    def test_bit_identical_from_the_cache(self, figure4_serial, tmp_path):
+        kwargs = dict(
+            params=PARAMS, sizes=(8, 64), patterns=("scatter", "two-phase")
+        )
+        cold = run_figure4(jobs=1, cache=tmp_path, **kwargs)
+        warm = run_figure4(jobs=1, cache=tmp_path, **kwargs)
+        assert warm.exec_stats.cells_cached == warm.exec_stats.cells_total
+        assert warm.series == figure4_serial.series
+        assert warm.points == cold.points == figure4_serial.points
+
+
+class TestFigure5:
+    def test_bit_identical_across_job_counts(self):
+        kwargs = dict(params=PARAMS, determinism=(0.5, 1.0), messages_per_node=8)
+        serial = run_figure5(jobs=1, **kwargs)
+        for jobs in (2, 8):
+            pooled = run_figure5(jobs=jobs, **kwargs)
+            assert pooled.series == serial.series
+            assert pooled.points == serial.points
+
+
+class TestLoadLatency:
+    def test_bit_identical_across_job_counts(self):
+        kwargs = dict(params=PARAMS, loads=(0.2, 0.6), duration_ns=2_000.0)
+        serial = run_load_latency(jobs=1, **kwargs)
+        pooled = run_load_latency(jobs=2, **kwargs)
+        assert pooled.series == serial.series
+
+
+class TestFaults:
+    def test_bit_identical_across_job_counts(self):
+        kwargs = dict(
+            params=PARAMS,
+            rates=(0.0, 1.0),
+            size_bytes=128,
+            messages_per_node=2,
+            schemes=("wormhole", "dynamic-tdm"),
+        )
+        serial = run_faults(jobs=1, **kwargs)
+        pooled = run_faults(jobs=2, **kwargs)
+        assert pooled.delivered == serial.delivered
+        assert pooled.bandwidth == serial.bandwidth
+        assert pooled.recovery_p99_ns == serial.recovery_p99_ns
+        assert pooled.points == serial.points

@@ -1,0 +1,96 @@
+"""Worker state-reset regression tests (the satellite bugfix).
+
+A reused pool worker runs many cells back to back; before the reset fix a
+cell that registered an ad-hoc scheme or dirtied the shared null tracer
+would leak that state into the next cell.  The pollution runner dirties
+everything it can and reports what it *observed on entry* — which must be
+a clean slate for every cell.
+"""
+
+from __future__ import annotations
+
+from _cellfuncs import POLLUTION_SCHEME, ValueCell, pollute_and_report
+
+from repro.exec import map_cells, reset_process_state
+from repro.networks import registry
+from repro.sim.trace import NULL_TRACER
+
+
+def _clean(observed: dict) -> bool:
+    return (
+        not observed["scheme_leaked"]
+        and not observed["tracer_enabled"]
+        and observed["tracer_events"] == 0
+    )
+
+
+class TestReusedWorkerIsolation:
+    def test_two_cells_back_to_back_in_one_worker(self):
+        # force_pool + jobs=1: both (different) cells run in the same
+        # reused worker process, the regression's exact shape
+        outcome = map_cells(
+            pollute_and_report,
+            [ValueCell(1), ValueCell(2)],
+            jobs=1,
+            force_pool=True,
+        )
+        first, second = outcome.payloads
+        assert first["value"] == 1 and second["value"] == 2
+        assert _clean(first), f"first cell saw inherited dirt: {first}"
+        assert _clean(second), f"second cell saw the first cell's dirt: {second}"
+
+    def test_parent_pollution_not_inherited_by_fork(self):
+        # dirty the parent process, then fan out: the pool initializer must
+        # scrub the forked image before any cell runs
+        info = registry.get_scheme("wormhole")
+        registry.register_scheme(
+            POLLUTION_SCHEME, info.factory, capabilities=info.capabilities
+        )
+        try:
+            outcome = map_cells(
+                pollute_and_report, [ValueCell(3)], jobs=1, force_pool=True
+            )
+            assert _clean(outcome.payloads[0])
+            # the parent's own registration must survive — resets are
+            # worker-side only
+            assert POLLUTION_SCHEME in registry._ALIAS_TO_NAME
+        finally:
+            reset_process_state()
+        assert POLLUTION_SCHEME not in registry._ALIAS_TO_NAME
+
+    def test_serial_path_does_not_reset_caller_state(self):
+        # jobs=1 without force_pool runs in the caller's process and must
+        # not deregister schemes the caller registered
+        info = registry.get_scheme("wormhole")
+        registry.register_scheme(
+            POLLUTION_SCHEME, info.factory, capabilities=info.capabilities
+        )
+        try:
+            outcome = map_cells(pollute_and_report, [ValueCell(4)], jobs=1)
+            assert outcome.payloads[0]["scheme_leaked"]
+            assert POLLUTION_SCHEME in registry._ALIAS_TO_NAME
+        finally:
+            reset_process_state()
+            NULL_TRACER.clear()
+            NULL_TRACER.enabled = False
+
+
+class TestResetProcessState:
+    def test_idempotent_and_restores_baseline(self):
+        info = registry.get_scheme("wormhole")
+        registry.register_scheme(
+            POLLUTION_SCHEME, info.factory, capabilities=info.capabilities
+        )
+        NULL_TRACER.enabled = True
+        reset_process_state()
+        assert POLLUTION_SCHEME not in registry._ALIAS_TO_NAME
+        assert POLLUTION_SCHEME not in registry._REGISTRY
+        assert not NULL_TRACER.enabled
+        assert len(NULL_TRACER) == 0
+        reset_process_state()  # idempotent
+        assert "wormhole" in registry._ALIAS_TO_NAME
+
+    def test_baseline_schemes_untouched(self):
+        before = dict(registry._ALIAS_TO_NAME)
+        reset_process_state()
+        assert registry._ALIAS_TO_NAME == before

@@ -1,9 +1,14 @@
 """The repo's own lint gates, run as tests so they cannot rot.
 
-``tools/check_construction.py`` enforces the registry boundary: concrete
-scheme classes (TdmNetwork, CircuitNetwork, WormholeNetwork) may only be
-constructed inside ``src/repro/networks/`` and ``tests/`` — everything
-else resolves through ``repro.networks.registry.build_network``.
+``tools/check_construction.py`` enforces two boundaries:
+
+* concrete scheme classes (TdmNetwork, CircuitNetwork, WormholeNetwork)
+  may only be constructed inside ``src/repro/networks/`` and ``tests/``
+  — everything else resolves through
+  ``repro.networks.registry.build_network``;
+* ``multiprocessing`` / ``ProcessPoolExecutor`` may only appear inside
+  ``src/repro/exec/`` and ``tests/`` — all process fan-out goes through
+  ``repro.exec.map_cells``.
 """
 
 from __future__ import annotations
@@ -57,3 +62,51 @@ def test_checker_ignores_registry_style_code(tmp_path):
     )
     proc = _run(str(tmp_path))
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_checker_flags_multiprocessing_import(tmp_path):
+    bad = tmp_path / "rogue.py"
+    bad.write_text("import multiprocessing\npool = multiprocessing.Pool(4)\n")
+    proc = _run(str(tmp_path))
+    assert proc.returncode == 1
+    assert "rogue.py:1" in proc.stdout
+    assert "multiprocessing" in proc.stdout
+    assert "repro.exec.map_cells" in proc.stdout
+
+
+def test_checker_flags_from_multiprocessing_import(tmp_path):
+    bad = tmp_path / "rogue.py"
+    bad.write_text("from multiprocessing import Pool\n")
+    proc = _run(str(tmp_path))
+    assert proc.returncode == 1
+    assert "rogue.py:1" in proc.stdout
+
+
+def test_checker_flags_process_pool_executor(tmp_path):
+    bad = tmp_path / "rogue.py"
+    bad.write_text(
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "with ProcessPoolExecutor() as pool:\n    pass\n"
+    )
+    proc = _run(str(tmp_path))
+    assert proc.returncode == 1
+    assert "ProcessPoolExecutor" in proc.stdout
+
+
+def test_checker_allows_thread_pool_executor(tmp_path):
+    # the boundary is about *process* fan-out; thread pools carry no
+    # seed/reset determinism hazard and stay legal everywhere
+    ok = tmp_path / "fine.py"
+    ok.write_text(
+        "from concurrent.futures import ThreadPoolExecutor\n"
+        "with ThreadPoolExecutor() as pool:\n    pass\n"
+    )
+    proc = _run(str(tmp_path))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_repro_exec_is_exempt_from_the_pool_rule():
+    # the engine itself obviously uses ProcessPoolExecutor; the default
+    # run (exercised above) must not flag it
+    engine = REPO / "src" / "repro" / "exec" / "engine.py"
+    assert "ProcessPoolExecutor" in engine.read_text()

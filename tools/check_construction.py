@@ -1,17 +1,20 @@
 #!/usr/bin/env python
-"""Lint: concrete scheme classes must not be constructed outside the
-networks layer.
+"""Lint: architectural boundaries the type checker cannot see.
 
-Every construction site is supposed to resolve through the scheme
-registry (``repro.networks.registry.build_network``), so experiments,
-CLI paths, benchmarks, and examples stay decoupled from the concrete
-scheme classes.  This checker walks the AST of every Python file under
-the given roots and fails on a direct call to ``TdmNetwork(...)``,
-``CircuitNetwork(...)``, or ``WormholeNetwork(...)``.
+Two rules, both enforced by walking the AST of every Python file under
+the given roots:
 
-Exempt: ``src/repro/networks/`` itself (the registry's factories live
-there) and ``tests/`` (unit tests exercise the concrete classes on
-purpose).
+* **registry boundary** — concrete scheme classes (``TdmNetwork``,
+  ``CircuitNetwork``, ``WormholeNetwork``) may only be constructed inside
+  ``src/repro/networks/`` (the registry's factories) and ``tests/``;
+  everything else resolves through
+  ``repro.networks.registry.build_network``.
+* **executor boundary** — ``multiprocessing`` and
+  ``ProcessPoolExecutor`` may only appear inside ``src/repro/exec/`` and
+  ``tests/``.  All fan-out goes through ``repro.exec.map_cells``, whose
+  seed-derivation, ordered-reduction, and worker-reset rules are what
+  make parallel sweeps bit-identical to serial ones; an ad-hoc pool
+  would bypass every one of them.
 
 Run:  python tools/check_construction.py            # lint the repo
       python tools/check_construction.py PATH ...   # lint specific roots
@@ -25,21 +28,33 @@ from pathlib import Path
 
 SCHEME_CLASSES = frozenset({"TdmNetwork", "CircuitNetwork", "WormholeNetwork"})
 
+#: process-pool machinery only repro.exec may touch
+POOL_MODULES = frozenset({"multiprocessing"})
+POOL_CLASSES = frozenset({"ProcessPoolExecutor"})
+
 #: directories whose files may construct scheme classes directly
-EXEMPT_PARTS = (
+SCHEME_EXEMPT_PARTS = (
     ("src", "repro", "networks"),
+    ("tests",),
+)
+
+#: directories whose files may use process pools directly
+POOL_EXEMPT_PARTS = (
+    ("src", "repro", "exec"),
     ("tests",),
 )
 
 DEFAULT_ROOTS = ("src", "examples", "benchmarks", "tools", "tests")
 
 
-def _exempt(path: Path, repo_root: Path) -> bool:
+def _exempt(
+    path: Path, repo_root: Path, exempt_parts: tuple[tuple[str, ...], ...]
+) -> bool:
     try:
         rel = path.relative_to(repo_root).parts
     except ValueError:  # outside the repo (explicit roots): never exempt
         return False
-    return any(rel[: len(parts)] == parts for parts in EXEMPT_PARTS)
+    return any(rel[: len(parts)] == parts for parts in exempt_parts)
 
 
 def _called_name(call: ast.Call) -> str | None:
@@ -51,12 +66,18 @@ def _called_name(call: ast.Call) -> str | None:
     return None
 
 
-def find_violations(path: Path) -> list[tuple[int, str]]:
-    """Direct scheme constructions in one file, as (line, class) pairs."""
+def _parse(path: Path) -> ast.AST | list[tuple[int, str]]:
     try:
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
     except SyntaxError as exc:  # a broken file is its own problem
         return [(exc.lineno or 0, f"syntax error: {exc.msg}")]
+
+
+def find_violations(path: Path) -> list[tuple[int, str]]:
+    """Direct scheme constructions in one file, as (line, class) pairs."""
+    tree = _parse(path)
+    if isinstance(tree, list):
+        return tree
     return [
         (node.lineno, name)
         for node in ast.walk(tree)
@@ -65,32 +86,71 @@ def find_violations(path: Path) -> list[tuple[int, str]]:
     ]
 
 
+def find_pool_violations(path: Path) -> list[tuple[int, str]]:
+    """Process-pool imports/uses in one file, as (line, what) pairs."""
+    tree = _parse(path)
+    if isinstance(tree, list):
+        return tree
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] in POOL_MODULES:
+                    out.append((node.lineno, f"import {alias.name}"))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module.split(".")[0] in POOL_MODULES:
+                out.append((node.lineno, f"from {module} import ..."))
+            else:
+                for alias in node.names:
+                    if alias.name in POOL_CLASSES:
+                        out.append(
+                            (node.lineno, f"from {module} import {alias.name}")
+                        )
+        elif isinstance(node, ast.Call):
+            if (name := _called_name(node)) in POOL_CLASSES:
+                out.append((node.lineno, f"{name}(...)"))
+    return out
+
+
 def main(argv: list[str]) -> int:
     repo_root = Path(__file__).resolve().parent.parent
     roots = [Path(a) for a in argv] if argv else [
         repo_root / r for r in DEFAULT_ROOTS
     ]
+    rules = (
+        (
+            SCHEME_EXEMPT_PARTS,
+            find_violations,
+            lambda what: f"direct {what}(...) construction — resolve it "
+            "through repro.networks.registry.build_network",
+        ),
+        (
+            POOL_EXEMPT_PARTS,
+            find_pool_violations,
+            lambda what: f"{what} — all process fan-out goes through "
+            "repro.exec.map_cells",
+        ),
+    )
     violations: list[str] = []
     for root in roots:
         for path in sorted(root.rglob("*.py")):
-            if _exempt(path, repo_root):
-                continue
-            for lineno, name in find_violations(path):
-                rel = (
-                    path.relative_to(repo_root)
-                    if path.is_relative_to(repo_root)
-                    else path
-                )
-                violations.append(
-                    f"{rel}:{lineno}: direct {name}(...) construction — "
-                    "resolve it through repro.networks.registry.build_network"
-                )
+            for exempt_parts, finder, message in rules:
+                if _exempt(path, repo_root, exempt_parts):
+                    continue
+                for lineno, what in finder(path):
+                    rel = (
+                        path.relative_to(repo_root)
+                        if path.is_relative_to(repo_root)
+                        else path
+                    )
+                    violations.append(f"{rel}:{lineno}: {message(what)}")
     if violations:
         print("\n".join(violations))
-        print(f"\n{len(violations)} direct scheme construction(s) found")
+        print(f"\n{len(violations)} boundary violation(s) found")
         return 1
-    print("construction check passed: all scheme construction goes "
-          "through the registry")
+    print("construction check passed: scheme construction goes through "
+          "the registry, process fan-out through repro.exec")
     return 0
 
 
