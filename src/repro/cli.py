@@ -12,6 +12,8 @@ Regenerates any paper artifact from the shell::
     python -m repro trace figure4 --format chrome -o fig4.json
     python -m repro cache stats
     python -m repro schemes
+    python -m repro soak --seconds 10 --seed 7
+    python -m repro serve --port 7521
 
 ``--ports`` scales the system (the paper uses 128; smaller is faster),
 ``--seed`` changes the workload realisation, ``--csv`` switches figure
@@ -349,6 +351,65 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from .service import SoakConfig, run_soak
+
+    cfg = SoakConfig(
+        seed=args.seed,
+        seconds=args.seconds,
+        n_ports=args.soak_ports,
+        k=args.k,
+        scheme=args.scheme,
+        fault_rate_per_us=args.fault_rate,
+        availability_floor=args.floor,
+        out_dir=args.out,
+        trace=args.trace,
+        max_wall_s=args.max_wall_s,
+    )
+    report = run_soak(cfg)
+    print(report.summary())
+    if cfg.out_dir is not None:
+        print(f"  artifacts in {cfg.out_dir}/ (slo.jsonl, report.json"
+              + (", soak-trace.json)" if cfg.trace else ")"))
+    return 0 if report.ok else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .params import SystemParams
+    from .service import ServiceConfig, ServiceDaemon, SwitchService
+
+    cfg = ServiceConfig(
+        scheme=args.scheme,
+        k=args.k,
+        bucket_rate_per_s=args.bucket_rate,
+        queue_depth=args.queue_depth,
+    )
+    service = SwitchService(cfg, SystemParams(n_ports=args.soak_ports))
+    daemon = ServiceDaemon(
+        service,
+        host=args.host,
+        port=args.port,
+        us_per_wall_s=args.pace,
+    )
+
+    async def _run() -> None:
+        await daemon.start()
+        print(
+            f"repro service on {daemon.host}:{daemon.port} "
+            f"({cfg.scheme}, k={cfg.k}, {args.soak_ports} ports, "
+            f"{daemon.us_per_wall_s:g} virtual us per wall second); Ctrl-C stops"
+        )
+        await daemon._stopping.wait()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nservice stopped")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -495,6 +556,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ca.add_argument("--dir", help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)")
     ca.set_defaults(fn=_cmd_cache)
+
+    sk = sub.add_parser(
+        "soak",
+        help="seeded chaos soak: faults + overload bursts, invariants at exit",
+    )
+    # --seed works in subcommand position too (SUPPRESS: absent keeps top-level)
+    sk.add_argument("--seed", type=int, default=argparse.SUPPRESS, help="campaign seed")
+    sk.add_argument(
+        "--seconds", type=float, default=10.0,
+        help="campaign length in soak seconds (each simulates 200 us of fabric time)",
+    )
+    sk.add_argument("--soak-ports", type=int, default=16, help="fabric size (default 16)")
+    sk.add_argument("--k", type=int, default=4, help="multiplexing degree")
+    sk.add_argument("--scheme", default="hybrid", help="dynamic-tdm, preload, or hybrid")
+    sk.add_argument(
+        "--fault-rate", type=float, default=0.02, help="faults per virtual us (0 = calm)"
+    )
+    sk.add_argument(
+        "--floor", type=float, default=0.55, help="availability floor asserted at exit"
+    )
+    sk.add_argument("--out", help="write slo.jsonl + report.json to this directory")
+    sk.add_argument("--trace", action="store_true", help="also export a Perfetto timeline")
+    sk.add_argument(
+        "--max-wall-s", type=float, default=120.0,
+        help="wall-clock safety valve (never affects results)",
+    )
+    sk.set_defaults(fn=_cmd_soak)
+
+    sv = sub.add_parser(
+        "serve", help="run the switching service as a line-JSON TCP daemon"
+    )
+    sv.add_argument("--host", default="127.0.0.1", help="bind address")
+    sv.add_argument("--port", type=int, default=7521, help="TCP port (0 = ephemeral)")
+    sv.add_argument("--soak-ports", type=int, default=16, help="fabric size (default 16)")
+    sv.add_argument("--k", type=int, default=4, help="multiplexing degree")
+    sv.add_argument("--scheme", default="hybrid", help="dynamic-tdm, preload, or hybrid")
+    sv.add_argument(
+        "--bucket-rate", type=float, default=0.0,
+        help="admission token-bucket rate per virtual second (0 = unlimited)",
+    )
+    sv.add_argument("--queue-depth", type=int, default=16, help="per-port queue bound")
+    sv.add_argument(
+        "--pace", type=float, default=200.0,
+        help="virtual microseconds simulated per wall-clock second",
+    )
+    sv.set_defaults(fn=_cmd_serve)
 
     mh = sub.add_parser("multihop", help="multi-hop TDM vs wormhole model (A7)")
     mh.add_argument("--bytes", type=int, default=512, help="message size")

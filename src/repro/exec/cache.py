@@ -131,8 +131,20 @@ class ResultCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL))
-        os.replace(tmp, path)
+        blob = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            # never leave a half-written temp behind on crash/interrupt
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     @staticmethod
     def _decode(raw: bytes) -> dict | None:
@@ -154,6 +166,13 @@ class ResultCache:
         if not objects.is_dir():
             return []
         return sorted(objects.rglob("*.pkl"))
+
+    def _stale_tmp_paths(self) -> list[Path]:
+        """Temp files orphaned by a crash mid-``put`` (never read as entries)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(p for p in objects.rglob("*.tmp.*") if p.is_file())
 
     def stats(self) -> CacheStats:
         """Entry count, footprint, and the wall time the entries represent."""
@@ -178,9 +197,9 @@ class ResultCache:
         )
 
     def clear(self) -> int:
-        """Delete every entry; returns how many files were removed."""
+        """Delete every entry and stale temp file; returns files removed."""
         removed = 0
-        for path in self._entry_paths():
+        for path in self._entry_paths() + self._stale_tmp_paths():
             try:
                 path.unlink()
                 removed += 1
@@ -203,4 +222,6 @@ class ResultCache:
                 bad.append(str(path))
             else:
                 ok += 1
+        # surface crash leftovers too: a stale temp is disk the cache owns
+        bad.extend(str(p) for p in self._stale_tmp_paths())
         return ok, bad

@@ -53,10 +53,26 @@ class RetryPolicy:
             )
         if self.backoff < 1.0:
             raise ConfigurationError(
-                f"retry backoff must be >= 1, got {self.backoff}"
+                f"retry backoff must be >= 1, got {self.backoff} "
+                "(a shrinking backoff would hammer the request plane)"
             )
         if self.max_retries < 0 or self.mgmt_attempts < 0:
-            raise ConfigurationError("retry/mgmt attempt counts must be >= 0")
+            raise ConfigurationError(
+                f"retry/mgmt attempt counts must be >= 0, got "
+                f"max_retries={self.max_retries}, mgmt_attempts={self.mgmt_attempts}"
+            )
+        if self.max_retries + self.mgmt_attempts < 1:
+            raise ConfigurationError(
+                "a watchdog needs at least one attempt "
+                "(max_retries + mgmt_attempts >= 1), got 0: every stall "
+                "would be given up on its first check"
+            )
+        if self.max_delay_ps < self.timeout_ps:
+            raise ConfigurationError(
+                f"backoff ceiling max_delay_ps={self.max_delay_ps} ps is below "
+                f"the initial timeout {self.timeout_ps} ps; the cap must not "
+                "undercut the first check"
+            )
 
     @property
     def total_attempts(self) -> int:

@@ -65,6 +65,15 @@ class Kind:
     RECOVERY_OPEN = "recovery-open"  # src, dst — disruption with traffic pending
     RECOVERY_CLOSED = "recovery-closed"  # src, dst, latency_ps — bytes flow again
 
+    # the online switching service (repro.service)
+    SVC_SUBMIT = "svc-submit"  # req, src, dst — lease request entered admission
+    SVC_GRANT = "svc-grant"  # req, src, dst, latency_ps — circuit leased
+    SVC_SHED = "svc-shed"  # req, src, dst, reason — deterministically shed
+    SVC_REJECT = "svc-reject"  # req, src, dst — endpoint dead, not counted as shed
+    SVC_RELEASE = "svc-release"  # req, src, dst — lease expired / torn down
+    SVC_LEVEL = "svc-level"  # level, reason — overload ladder transition
+    SVC_SNAPSHOT = "svc-snapshot"  # window SLO counters (see service/slo.py)
+
 
 #: Chrome-trace category per kind (used for filtering in the viewer).
 CATEGORIES: dict[str, str] = {
@@ -96,6 +105,13 @@ CATEGORIES: dict[str, str] = {
     Kind.DEGRADE: "fault",
     Kind.RECOVERY_OPEN: "fault",
     Kind.RECOVERY_CLOSED: "fault",
+    Kind.SVC_SUBMIT: "service",
+    Kind.SVC_GRANT: "service",
+    Kind.SVC_SHED: "service",
+    Kind.SVC_REJECT: "service",
+    Kind.SVC_RELEASE: "service",
+    Kind.SVC_LEVEL: "service",
+    Kind.SVC_SNAPSHOT: "service",
 }
 
 #: kinds that move bytes over a port (used by the duty-cycle timeline)
@@ -141,5 +157,19 @@ SPAN_RULES: tuple[SpanRule, ...] = (
         begin=Kind.RECOVERY_OPEN,
         end=(Kind.RECOVERY_CLOSED,),
         keys=("src", "dst"),
+    ),
+    SpanRule(
+        name="admission",
+        category="service",
+        begin=Kind.SVC_SUBMIT,
+        end=(Kind.SVC_GRANT, Kind.SVC_SHED, Kind.SVC_REJECT),
+        keys=("req",),
+    ),
+    SpanRule(
+        name="lease",
+        category="service",
+        begin=Kind.SVC_GRANT,
+        end=(Kind.SVC_RELEASE,),
+        keys=("req",),
     ),
 )

@@ -1,0 +1,63 @@
+"""The online switching service: a long-running front door for the fabric.
+
+Everything else in the repo is a batch sweep — build a network, replay a
+workload, report.  This package adds the *service* view of the paper's
+switch: a daemon that accepts a live stream of connection requests and
+releases against a simulated fabric built from the real scheduler
+machinery (:mod:`repro.sched`, :mod:`repro.fabric`), with
+
+* **admission control** — a token-bucket front door plus bounded per-port
+  request queues that shed load deterministically instead of growing
+  without bound (:mod:`repro.service.admission`);
+* **an overload/degradation ladder** — reject new circuits, fall back
+  preload -> dynamic, serve best-effort (:mod:`repro.service.ladder`),
+  reusing the :mod:`repro.faults` recovery hooks so availability degrades
+  gracefully instead of the service falling over;
+* **SLO accounting** — p50/p99 request-to-grant latency, availability and
+  shed rate per window, exported as JSONL snapshots and Perfetto
+  timelines via :mod:`repro.obs` (:mod:`repro.service.slo`);
+* **seeded workload generators** — open-loop Poisson, bursty on/off and
+  adversarial hot-spot mixes (:mod:`repro.service.workload`);
+* **chaos soak campaigns** — ``repro soak`` runs a seeded, time-bounded
+  storm of faults and overload bursts and asserts service invariants at
+  exit (:mod:`repro.service.soak`, :mod:`repro.service.invariants`).
+
+The deterministic core (:class:`~repro.service.core.SwitchService`) runs
+entirely in virtual time on the :class:`~repro.sim.engine.Simulator`, so
+a soak is bit-identical for a fixed seed; the asyncio front door
+(:mod:`repro.service.daemon`, ``repro serve``) wraps the same core and
+paces it against the wall clock.
+"""
+
+from .admission import PortQueues, TokenBucket
+from .core import SwitchService
+from .daemon import ServiceDaemon
+from .fabric import LiveFabric
+from .invariants import check_invariants
+from .ladder import OverloadLadder, ServiceLevel
+from .model import Outcome, ServiceConfig, ServiceRequest
+from .slo import SloRecorder, SloSnapshot
+from .soak import SoakConfig, SoakReport, run_soak
+from .workload import Arrival, WorkloadSpec, predicted_pairs
+
+__all__ = [
+    "Arrival",
+    "LiveFabric",
+    "Outcome",
+    "OverloadLadder",
+    "PortQueues",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceLevel",
+    "ServiceRequest",
+    "SloRecorder",
+    "SloSnapshot",
+    "SoakConfig",
+    "SoakReport",
+    "SwitchService",
+    "TokenBucket",
+    "WorkloadSpec",
+    "check_invariants",
+    "predicted_pairs",
+    "run_soak",
+]

@@ -1,0 +1,118 @@
+"""Service invariants asserted at campaign exit.
+
+A drained service (no events left on the virtual clock) must satisfy all
+of these; the soak harness fails a campaign on any violation, and the CI
+smoke job runs one on every push.  Each check returns human-readable
+violation strings instead of raising, so one broken campaign reports
+*every* broken invariant at once.
+
+1. **Request conservation** — every submitted request reached exactly one
+   terminal outcome; the SLO ledger agrees with the per-request records.
+2. **Lease conservation** — every granted lease was released; broken
+   leases (port death, unrecoverable circuit loss) are explicitly
+   accounted, never silently lost.
+3. **No deadlock** — nothing is pending, queued, or watched after the
+   drain: the watchdog retry budget bounds every wait.
+4. **Queue bounds** — no per-port admission queue ever exceeded its
+   configured depth.
+5. **Register-file integrity** — the hardware model's own structural
+   invariants hold, and no circuit is left resident in a healthy dynamic
+   slot (pinned preloads and stuck-slot orphans are the accounted
+   exceptions).
+6. **Availability floor** — campaign availability stayed at or above the
+   configured floor (dead-endpoint rejects excluded by definition).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errors import ReproError
+from .model import Outcome
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .core import SwitchService
+
+__all__ = ["check_invariants"]
+
+
+def check_invariants(service: "SwitchService") -> list[str]:
+    """All violated service invariants of a drained campaign (empty = pass)."""
+    violations: list[str] = []
+    slo = service.slo
+
+    # 1. request conservation
+    by_outcome: dict[Outcome, int] = {}
+    for req in service.requests:
+        by_outcome[req.outcome] = by_outcome.get(req.outcome, 0) + 1
+    pending_reqs = by_outcome.get(Outcome.PENDING, 0)
+    if pending_reqs:
+        violations.append(f"{pending_reqs} requests never reached a terminal outcome")
+    if len(service.requests) != slo.arrivals:
+        violations.append(
+            f"request ledger mismatch: {len(service.requests)} records vs "
+            f"{slo.arrivals} recorded arrivals"
+        )
+    granted = by_outcome.get(Outcome.GRANTED, 0)
+    shed = sum(n for o, n in by_outcome.items() if o.is_shed)
+    rejected = by_outcome.get(Outcome.REJECTED_DEAD, 0)
+    if granted != slo.granted or shed != slo.shed or rejected != slo.rejected_dead:
+        violations.append(
+            f"outcome counters disagree with SLO ledger: "
+            f"granted {granted}/{slo.granted}, shed {shed}/{slo.shed}, "
+            f"rejected {rejected}/{slo.rejected_dead}"
+        )
+    if granted + shed + rejected + pending_reqs != len(service.requests):
+        violations.append("outcome partition does not cover every request")
+
+    # 2. lease conservation
+    unreleased = sum(
+        1 for r in service.requests if r.outcome is Outcome.GRANTED and not r.released
+    )
+    if unreleased:
+        violations.append(f"{unreleased} granted leases were never released")
+    if slo.released != granted:
+        violations.append(
+            f"release ledger mismatch: {slo.released} releases for {granted} grants"
+        )
+
+    # 3. no deadlock after the drain
+    if service.pending:
+        violations.append(f"{len(service.pending)} connection pairs still pending")
+    if service.leases:
+        violations.append(f"{len(service.leases)} lease refcounts still live")
+    if service.queues.total:
+        violations.append(f"{service.queues.total} requests still in admission queues")
+    if service.lifecycle.watch_count:
+        violations.append(f"{service.lifecycle.watch_count} watchdogs still armed")
+    if service.sim.pending:
+        violations.append(f"{service.sim.pending} events still queued after drain")
+
+    # 4. queue bounds
+    if service.queues.high_water > service.cfg.queue_depth:
+        violations.append(
+            f"queue high-water {service.queues.high_water} exceeded depth "
+            f"{service.cfg.queue_depth}"
+        )
+
+    # 5. register-file integrity
+    regs = service.fabric.scheduler.registers
+    try:
+        regs.check_invariants()
+    except ReproError as exc:
+        violations.append(f"register-file invariants: {exc}")
+    leaked = 0
+    for slot in range(regs.k):
+        if slot in regs.pinned or slot in regs.stuck or slot in regs.quarantined:
+            continue  # preload residents and orphaned circuits are accounted
+        leaked += len(list(regs[slot].connections()))
+    if leaked:
+        violations.append(f"{leaked} circuits leaked in healthy dynamic slots")
+
+    # 6. availability floor
+    if slo.availability < service.cfg.availability_floor:
+        violations.append(
+            f"availability {slo.availability:.4f} below floor "
+            f"{service.cfg.availability_floor:.4f}"
+        )
+    return violations

@@ -1,0 +1,103 @@
+"""The overload/degradation ladder.
+
+Sustained overload is a design input, not an error path (Tiny Tera's
+lesson — see PAPERS.md): when a window's shed rate crosses the configured
+threshold the service steps *down* one rung, trading fidelity for
+availability, and steps back up only when the shed rate stays below the
+recovery threshold.  The rungs:
+
+====================  ==============================================
+rung                  behaviour change
+====================  ==============================================
+NORMAL                full service
+THROTTLED             token-bucket rate scaled down — new circuits
+                      are rejected earlier to protect queued ones
+DEGRADED              preloaded (pinned) slots fall back to the
+                      dynamic scheduler — the paper's preload->dynamic
+                      degradation, reused from :mod:`repro.faults`
+BEST_EFFORT           no queueing: requests are placed immediately by
+                      the management plane or shed on the spot, so
+                      latency stays bounded while the storm lasts
+====================  ==============================================
+
+Losing a pinned slot to a fault (the :meth:`lifecycle_pinned_lost` hook
+of the lifecycle layer) forces the DEGRADED rung directly — preload
+integrity is gone either way, so the ladder records it and moves on.
+The preload *fallback* is one-way (re-pinning would need a recompiled
+working set; :attr:`OverloadLadder.preload_degraded` stays set), but the
+*rung* recovers normally once the pressure signal clears — a dead pinned
+slot costs preload fidelity, not admission capacity.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .model import ServiceConfig
+
+__all__ = ["ServiceLevel", "OverloadLadder"]
+
+
+class ServiceLevel(enum.IntEnum):
+    """Ladder rungs, best to worst (higher = more degraded)."""
+
+    NORMAL = 0
+    THROTTLED = 1
+    DEGRADED = 2
+    BEST_EFFORT = 3
+
+
+class OverloadLadder:
+    """Window-driven hysteresis controller for the service level."""
+
+    __slots__ = ("cfg", "level", "preload_degraded", "transitions")
+
+    def __init__(self, cfg: ServiceConfig) -> None:
+        self.cfg = cfg
+        self.level = ServiceLevel.NORMAL
+        #: set once preload slots were handed to the dynamic scheduler
+        self.preload_degraded = False
+        #: every transition as (time_ps, old, new, reason)
+        self.transitions: list[tuple[int, ServiceLevel, ServiceLevel, str]] = []
+
+    def note_pinned_lost(self, now_ps: int) -> bool:
+        """A fault destroyed a pinned slot: force the DEGRADED rung.
+
+        Returns True when this call caused the preload fallback (the
+        fabric should unpin the surviving preloaded slots exactly once).
+        The rung itself recovers once the pressure clears; only the
+        preload fallback is permanent.
+        """
+        first = not self.preload_degraded
+        self.preload_degraded = True
+        if self.level < ServiceLevel.DEGRADED:
+            self._move(now_ps, ServiceLevel.DEGRADED, "pinned-slot-lost")
+        return first
+
+    def evaluate(self, now_ps: int, pressure: float) -> ServiceLevel:
+        """One window closed with shed ``pressure``; maybe change rung.
+
+        ``pressure`` is the window's shed rate *excluding* throttle sheds
+        (see :meth:`repro.service.slo.SloRecorder.window_pressure_rate`) —
+        overload the admission throttle failed to absorb.  One rung per
+        window in either direction: overload must *persist* to reach
+        BEST_EFFORT, and recovery climbs back gradually.
+        """
+        if pressure >= self.cfg.degrade_shed_rate and self.level < ServiceLevel.BEST_EFFORT:
+            self._move(now_ps, ServiceLevel(self.level + 1), f"pressure {pressure:.3f}")
+        elif pressure <= self.cfg.recover_shed_rate and self.level > ServiceLevel.NORMAL:
+            self._move(now_ps, ServiceLevel(self.level - 1), f"pressure {pressure:.3f}")
+        return self.level
+
+    def _move(self, now_ps: int, new: ServiceLevel, reason: str) -> None:
+        self.transitions.append((now_ps, self.level, new, reason))
+        self.level = new
+
+    def bucket_rate(self, base_rate_per_s: float) -> float:
+        """The admission rate at the current rung (throttled below NORMAL)."""
+        if self.level == ServiceLevel.NORMAL or base_rate_per_s == 0:
+            return base_rate_per_s
+        return base_rate_per_s * (self.cfg.throttle_factor ** int(self.level))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OverloadLadder(level={self.level.name}, transitions={len(self.transitions)})"

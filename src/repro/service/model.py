@@ -1,0 +1,143 @@
+"""Value objects of the service layer: requests, outcomes, configuration.
+
+A :class:`ServiceRequest` is one circuit *lease* request: "connect input
+``src`` to output ``dst`` and hold the circuit for ``hold_ps``".  The
+service grants it (possibly after queueing), sheds it deterministically
+under overload, or rejects it outright when an endpoint is dead.  Every
+request ends in exactly one :class:`Outcome` — the conservation invariant
+the soak harness asserts (:mod:`repro.service.invariants`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..faults.recovery import RetryPolicy
+from ..networks.registry import DEFAULT_K
+from ..sim.clock import us
+
+__all__ = ["Outcome", "ServiceRequest", "ServiceConfig", "PS_PER_S"]
+
+#: one virtual second in picoseconds
+PS_PER_S = 1_000_000_000_000
+
+
+class Outcome(enum.Enum):
+    """How one service request ended (exactly one per request)."""
+
+    #: still queued or in flight (never legal after a campaign drains)
+    PENDING = "pending"
+    #: circuit established and leased to the requester
+    GRANTED = "granted"
+    #: the token-bucket front door had no token (admission overload)
+    SHED_THROTTLE = "shed-throttle"
+    #: the source port's bounded request queue was full
+    SHED_QUEUE_FULL = "shed-queue-full"
+    #: retry/management ladder exhausted without a healthy slot
+    SHED_TIMEOUT = "shed-timeout"
+    #: best-effort mode found no free slot for immediate placement
+    SHED_BEST_EFFORT = "shed-best-effort"
+    #: an endpoint's links were dead (at arrival, or died while queued)
+    REJECTED_DEAD = "rejected-dead"
+
+    @property
+    def is_shed(self) -> bool:
+        """Sheds count against availability; dead-endpoint rejects do not."""
+        return self in (
+            Outcome.SHED_THROTTLE,
+            Outcome.SHED_QUEUE_FULL,
+            Outcome.SHED_TIMEOUT,
+            Outcome.SHED_BEST_EFFORT,
+        )
+
+
+@dataclass(slots=True)
+class ServiceRequest:
+    """One circuit-lease request moving through the admission pipeline."""
+
+    req_id: int
+    src: int
+    dst: int
+    arrive_ps: int
+    #: how long the granted circuit is leased before auto-release
+    hold_ps: int
+    outcome: Outcome = Outcome.PENDING
+    grant_ps: int = -1
+    released: bool = field(default=False)
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        return (self.src, self.dst)
+
+    @property
+    def latency_ps(self) -> int:
+        """Request-to-grant latency (only meaningful once granted)."""
+        return self.grant_ps - self.arrive_ps
+
+
+@dataclass(slots=True, frozen=True)
+class ServiceConfig:
+    """Everything the service core needs beyond the system parameters.
+
+    The admission knobs (``bucket_rate_per_s``, ``bucket_burst``,
+    ``queue_depth``) bound the resources a request can consume before it
+    is either granted or shed; the ladder thresholds control when the
+    service steps down through its degradation rungs.  All validation is
+    eager so a bad config fails at construction, not mid-campaign.
+    """
+
+    #: registered scheme name (must have a request plane: the TDM modes)
+    scheme: str = "hybrid"
+    #: multiplexing degree (slots per TDM rotation)
+    k: int = DEFAULT_K
+    #: pinned (preloaded) slots for the hybrid scheme; None = scheme default
+    k_preload: int | None = None
+    #: token-bucket refill rate, tokens per virtual second (0 = unlimited)
+    bucket_rate_per_s: float = 0.0
+    #: token-bucket capacity (burst tolerance)
+    bucket_burst: int = 64
+    #: bounded per-source-port request queue depth
+    queue_depth: int = 16
+    #: SLO snapshot window
+    window_ps: int = us(500)
+    #: campaign-level availability floor asserted by the soak harness
+    availability_floor: float = 0.75
+    #: window shed rate at or above which the ladder steps down a rung
+    degrade_shed_rate: float = 0.10
+    #: window shed rate at or below which the ladder steps back up a rung
+    recover_shed_rate: float = 0.02
+    #: bucket-rate multiplier applied per ladder rung below NORMAL
+    throttle_factor: float = 0.5
+    #: watchdog retry/backoff policy (shared with repro.faults recovery)
+    retry: RetryPolicy = RetryPolicy()
+    #: re-derive structural invariants at every snapshot window
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError(f"multiplexing degree must be >= 1, got {self.k}")
+        if self.k_preload is not None and not 0 <= self.k_preload <= self.k:
+            raise ConfigurationError(
+                f"k_preload must be in [0, {self.k}], got {self.k_preload}"
+            )
+        if self.bucket_rate_per_s < 0:
+            raise ConfigurationError(
+                f"bucket rate must be >= 0 (0 disables), got {self.bucket_rate_per_s}"
+            )
+        if self.bucket_burst < 1:
+            raise ConfigurationError(f"bucket burst must be >= 1, got {self.bucket_burst}")
+        if self.queue_depth < 1:
+            raise ConfigurationError(f"queue depth must be >= 1, got {self.queue_depth}")
+        if self.window_ps <= 0:
+            raise ConfigurationError(f"snapshot window must be positive, got {self.window_ps}")
+        if not 0.0 <= self.availability_floor <= 1.0:
+            raise ConfigurationError("availability floor must be in [0, 1]")
+        if not 0.0 <= self.recover_shed_rate <= self.degrade_shed_rate <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= recover_shed_rate <= degrade_shed_rate <= 1, got "
+                f"{self.recover_shed_rate} / {self.degrade_shed_rate}"
+            )
+        if not 0.0 < self.throttle_factor <= 1.0:
+            raise ConfigurationError("throttle factor must be in (0, 1]")

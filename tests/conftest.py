@@ -2,10 +2,40 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.params import PAPER_PARAMS, SystemParams
 from repro.sim.rng import RngStreams
+
+#: hard per-test wall-clock ceiling; generous — tier-1 tests finish in
+#: milliseconds, and even the soak/daemon tests stay under a few seconds
+TEST_TIMEOUT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _global_test_timeout():
+    """SIGALRM watchdog so a hung event loop fails the test, not the CI job.
+
+    ``pytest-timeout`` is deliberately not a dependency; SIGALRM covers the
+    same ground on the POSIX runners CI uses.  On platforms without SIGALRM
+    (Windows) this fixture is a no-op.
+    """
+    if not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _timed_out(signum, frame):
+        raise TimeoutError(f"test exceeded the global {TEST_TIMEOUT_S}s timeout")
+
+    previous = signal.signal(signal.SIGALRM, _timed_out)
+    signal.alarm(TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

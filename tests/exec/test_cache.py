@@ -3,6 +3,9 @@
 from __future__ import annotations
 
 import os
+from unittest import mock
+
+import pytest
 
 from repro.exec import CACHE_DIR_ENV_VAR, ResultCache
 from repro.exec.cache import default_cache_dir
@@ -63,6 +66,36 @@ class TestGetPut:
         leftovers = [p for p in tmp_path.rglob("*") if p.is_file()]
         assert [p.suffix for p in leftovers] == [".pkl"]
 
+    def test_failed_put_cleans_its_temp_file(self, tmp_path):
+        store = ResultCache(tmp_path)
+        with pytest.raises(OSError):
+            with mock.patch("os.replace", side_effect=OSError("disk full")):
+                store.put(_key(), 1, wall_s=0.1)
+        assert [p for p in tmp_path.rglob("*") if p.is_file()] == []
+        assert store.get(_key()) is None
+
+    def test_unpicklable_payload_raises_and_leaves_nothing(self, tmp_path):
+        store = ResultCache(tmp_path)
+        with pytest.raises(Exception):
+            store.put(_key(), lambda: None, wall_s=0.1)
+        assert [p for p in tmp_path.rglob("*") if p.is_file()] == []
+
+    def test_truncated_to_empty_is_miss(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put(_key(), {"v": 1}, wall_s=0.1)
+        store._path(_key()).write_bytes(b"")
+        assert store.get(_key()) is None
+
+    def test_payload_bitflip_is_miss(self, tmp_path):
+        # flip one byte inside the entry blob: the payload digest must catch it
+        store = ResultCache(tmp_path)
+        store.put(_key(), {"v": list(range(5000))}, wall_s=0.1)
+        path = store._path(_key())
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get(_key()) is None
+
 
 class TestMaintenance:
     def test_stats_and_clear(self, tmp_path):
@@ -88,6 +121,26 @@ class TestMaintenance:
         ok, bad = store.verify()
         assert ok == 1
         assert bad == [str(victim)]
+
+    def test_clear_removes_stale_tmp_files(self, tmp_path):
+        # a crash mid-put leaves {key}.tmp.{pid}; clear must reclaim it
+        store = ResultCache(tmp_path)
+        store.put(_key("c1"), 1, wall_s=1.0)
+        stale = store._path(_key("c2")).with_suffix(".tmp.12345")
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_bytes(b"half-written entry")
+        assert store.clear() == 2
+        assert not stale.exists()
+        assert [p for p in tmp_path.rglob("*") if p.is_file()] == []
+
+    def test_verify_surfaces_stale_tmp_files(self, tmp_path):
+        store = ResultCache(tmp_path)
+        store.put(_key("c1"), 1, wall_s=1.0)
+        stale = store._path(_key("c1")).with_suffix(".tmp.999")
+        stale.write_bytes(b"orphan")
+        ok, bad = store.verify()
+        assert ok == 1
+        assert bad == [str(stale)]
 
     def test_verify_flags_misfiled_entries(self, tmp_path):
         store = ResultCache(tmp_path)

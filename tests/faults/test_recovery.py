@@ -33,11 +33,32 @@ class TestRetryPolicy:
         "kwargs",
         [
             dict(timeout_ps=0),
+            dict(timeout_ps=-ns(100)),
             dict(backoff=0.5),
+            dict(backoff=0.0),
             dict(max_retries=-1),
             dict(mgmt_attempts=-1),
+            # zero total attempts: the watchdog would give up on first fire
+            dict(max_retries=0, mgmt_attempts=0),
+            # backoff ceiling below the first timeout silently shrinks it
+            dict(max_delay_ps=0),
+            dict(max_delay_ps=-1),
+            dict(timeout_ps=ns(800), max_delay_ps=ns(400)),
         ],
     )
     def test_invalid_parameters_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             RetryPolicy(**kwargs)
+
+    def test_rejection_messages_name_the_offender(self):
+        with pytest.raises(ConfigurationError, match="max_delay_ps"):
+            RetryPolicy(timeout_ps=ns(800), max_delay_ps=ns(100))
+        with pytest.raises(ConfigurationError, match="at least one attempt"):
+            RetryPolicy(max_retries=0, mgmt_attempts=0)
+        with pytest.raises(ConfigurationError, match="backoff"):
+            RetryPolicy(backoff=0.9)
+
+    def test_ceiling_equal_to_timeout_is_allowed(self):
+        policy = RetryPolicy(timeout_ps=ns(500), max_delay_ps=ns(500))
+        assert policy.delay_ps(0) == ns(500)
+        assert policy.delay_ps(4) == ns(500)

@@ -1,0 +1,135 @@
+"""Campaign-level tests of the deterministic service core."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultEvent, FaultKind
+from repro.faults.schedule import FaultSchedule
+from repro.params import SystemParams
+from repro.service.core import SwitchService
+from repro.service.invariants import check_invariants
+from repro.service.model import Outcome, ServiceConfig
+from repro.service.workload import Arrival, WorkloadSpec
+from repro.sim.clock import ns, us
+
+
+def _service(faults: FaultInjector | None = None, n_ports: int = 8, **cfg_overrides):
+    cfg = ServiceConfig(k=4, window_ps=us(10), **cfg_overrides)
+    params = SystemParams(n_ports=n_ports)
+    return SwitchService(cfg, params, faults=faults)
+
+
+def _uniform_arrivals(seed: int = 7, duration_ps: int = us(100)) -> tuple[Arrival, ...]:
+    spec = WorkloadSpec(
+        kind="poisson",
+        n_ports=8,
+        rate_per_s=500_000.0,
+        mean_hold_ps=us(2),
+        duration_ps=duration_ps,
+    )
+    return spec.generate(seed)
+
+
+class TestFaultFreeCampaign:
+    def test_everything_granted_and_released(self):
+        service = _service()
+        arrivals = _uniform_arrivals()
+        service.run_campaign(arrivals)
+        assert service.slo.arrivals == len(arrivals) > 0
+        assert service.slo.granted == len(arrivals)
+        assert service.slo.shed == 0
+        assert service.slo.released == len(arrivals)
+        assert all(r.outcome is Outcome.GRANTED and r.released for r in service.requests)
+        assert check_invariants(service) == []
+
+    def test_latencies_positive_and_snapshots_emitted(self):
+        service = _service()
+        service.run_campaign(_uniform_arrivals())
+        p50, p99 = service.slo.latency_percentiles()
+        assert 0 < p50 <= p99
+        assert service.slo.snapshots
+        assert service.slo.snapshots[-1].cum_granted == service.slo.granted
+
+    def test_campaign_is_deterministic(self):
+        arrivals = _uniform_arrivals()
+        a = _service()
+        a.run_campaign(arrivals)
+        b = _service()
+        b.run_campaign(arrivals)
+        assert a.slo.to_jsonl() == b.slo.to_jsonl()
+        assert a.stats() == b.stats()
+
+
+class TestAdmissionPaths:
+    def test_queue_full_sheds(self):
+        service = _service(queue_depth=1, availability_floor=0.0)
+        # a burst of distinct pairs from one source port at the same instant
+        arrivals = [Arrival(time_ps=100, src=0, dst=1 + i, hold_ps=us(1)) for i in range(4)]
+        service.run_campaign(arrivals)
+        outcomes = [r.outcome for r in service.requests]
+        assert outcomes.count(Outcome.SHED_QUEUE_FULL) == 3
+        assert outcomes.count(Outcome.GRANTED) == 1
+        assert service.queues.refused == 3
+        assert check_invariants(service) == []
+
+    def test_token_bucket_throttles(self):
+        # 1 token burst, negligible refill: second arrival has no token
+        service = _service(bucket_rate_per_s=1.0, bucket_burst=1, availability_floor=0.0)
+        arrivals = [
+            Arrival(time_ps=100, src=0, dst=1, hold_ps=us(1)),
+            Arrival(time_ps=200, src=2, dst=3, hold_ps=us(1)),
+        ]
+        service.run_campaign(arrivals)
+        assert [r.outcome for r in service.requests] == [
+            Outcome.GRANTED,
+            Outcome.SHED_THROTTLE,
+        ]
+        assert check_invariants(service) == []
+
+    def test_same_pair_shares_resident_circuit(self):
+        service = _service()
+        arrivals = [
+            Arrival(time_ps=100, src=0, dst=1, hold_ps=us(10)),
+            # arrives while the first lease holds the circuit
+            Arrival(time_ps=us(2), src=0, dst=1, hold_ps=us(10)),
+        ]
+        service.run_campaign(arrivals)
+        assert all(r.outcome is Outcome.GRANTED for r in service.requests)
+        assert service.resident_hits == 1
+        # the sharing request is granted at wire latency, no scheduler wait
+        assert service.requests[1].latency_ps == service.params.request_wire_ps
+        assert check_invariants(service) == []
+
+    def test_dead_endpoint_rejected_at_the_door(self):
+        schedule = FaultSchedule((FaultEvent(time_ps=100, kind=FaultKind.LINK_FAIL, port=3),))
+        service = _service(faults=FaultInjector(schedule))
+        arrivals = [Arrival(time_ps=200, src=3, dst=5, hold_ps=us(1))]
+        service.run_campaign(arrivals)
+        assert service.requests[0].outcome is Outcome.REJECTED_DEAD
+        assert service.slo.availability == 1.0  # dead rejects are excluded
+        assert check_invariants(service) == []
+
+    def test_submit_validates_inputs(self):
+        service = _service()
+        with pytest.raises(ConfigurationError):
+            service.submit(0, 0, ns(100))
+        with pytest.raises(ConfigurationError):
+            service.submit(0, 99, ns(100))
+        with pytest.raises(ConfigurationError):
+            service.submit(0, 1, 0)
+
+
+class TestPreload:
+    def test_predicted_pairs_hit_resident_slots(self):
+        cfg = ServiceConfig(k=4, k_preload=2, window_ps=us(10))
+        params = SystemParams(n_ports=8)
+        service = SwitchService(cfg, params, predicted=((0, 1), (2, 3)))
+        assert service.fabric.preloaded_pairs
+        arrivals = [Arrival(time_ps=100, src=0, dst=1, hold_ps=us(1))]
+        service.run_campaign(arrivals)
+        assert service.requests[0].outcome is Outcome.GRANTED
+        assert service.resident_hits == 1  # served by the pinned preload
+        assert check_invariants(service) == []

@@ -1,0 +1,123 @@
+"""Daemon protocol tests: the synchronous dispatcher and the TCP loop."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.params import SystemParams
+from repro.service.core import SwitchService
+from repro.service.daemon import ServiceDaemon
+from repro.service.model import ServiceConfig
+from repro.sim.clock import us
+
+
+def _daemon(**daemon_kwargs) -> ServiceDaemon:
+    cfg = ServiceConfig(k=4, window_ps=us(100))
+    service = SwitchService(cfg, SystemParams(n_ports=8))
+    return ServiceDaemon(service, **daemon_kwargs)
+
+
+def _drain(daemon: ServiceDaemon, virtual_ps: int) -> None:
+    sim = daemon.service.sim
+    sim.run(until=sim.now + virtual_ps)
+
+
+class TestHandleLine:
+    def test_request_then_poll_to_grant(self):
+        daemon = _daemon()
+        reply = daemon.handle_line('{"op":"request","src":0,"dst":5,"hold_ns":8000}')
+        assert reply == {"ok": True, "req_id": 0, "outcome": "pending"}
+        _drain(daemon, us(2))
+        poll = daemon.handle_line('{"op":"poll","req_id":0}')
+        assert poll["ok"] and poll["outcome"] == "granted"
+        assert poll["latency_ps"] > 0
+        assert poll["released"] is False
+
+    def test_hold_ps_accepted_directly(self):
+        daemon = _daemon()
+        reply = daemon.handle_line('{"op":"request","src":1,"dst":2,"hold_ps":500000}')
+        assert reply["ok"]
+        assert daemon.service.requests[0].hold_ps == 500000
+
+    def test_early_release(self):
+        daemon = _daemon()
+        daemon.handle_line('{"op":"request","src":0,"dst":5,"hold_ns":800000}')
+        _drain(daemon, us(2))
+        release = daemon.handle_line('{"op":"release","req_id":0}')
+        assert release == {"ok": True, "req_id": 0, "released": True}
+        # releasing a non-granted request is refused
+        again = daemon.handle_line('{"op":"release","req_id":0}')
+        assert again["ok"]  # idempotent once released: outcome is still granted
+        daemon.handle_line('{"op":"request","src":2,"dst":3,"hold_ns":800}')
+        refused = daemon.handle_line('{"op":"release","req_id":1}')
+        assert not refused["ok"]
+        assert "not granted" in refused["error"]
+
+    def test_stats_reports_ledger(self):
+        daemon = _daemon()
+        daemon.handle_line('{"op":"request","src":0,"dst":5,"hold_ns":8000}')
+        _drain(daemon, us(2))
+        stats = daemon.handle_line('{"op":"stats"}')["stats"]
+        assert stats["arrivals"] == 1
+        assert stats["granted"] == 1
+        assert "fabric" in stats
+
+    @pytest.mark.parametrize(
+        "line,fragment",
+        [
+            ("not json", "bad json"),
+            ("[1,2,3]", "expected a json object"),
+            ('{"op":"warp"}', "unknown op"),
+            ('{"op":"poll","req_id":99}', "unknown req_id"),
+            ('{"op":"request","src":0}', "bad request"),
+            ('{"op":"request","src":0,"dst":0,"hold_ns":10}', ""),
+        ],
+    )
+    def test_errors_are_replies_not_exceptions(self, line, fragment):
+        reply = _daemon().handle_line(line)
+        assert reply["ok"] is False
+        assert fragment in reply["error"]
+
+    def test_bad_pacing_config_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            _daemon(us_per_wall_s=0)
+        with pytest.raises(ConfigurationError):
+            _daemon(tick_s=0)
+
+
+class TestTcpLoop:
+    def test_request_grant_release_over_tcp(self):
+        async def scenario():
+            # fast pacing so the virtual clock covers the grant path quickly
+            daemon = _daemon(port=0, us_per_wall_s=100_000.0, tick_s=0.005)
+            await daemon.start()
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", daemon.port)
+
+                async def rpc(obj):
+                    writer.write((json.dumps(obj) + "\n").encode())
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+
+                sub = await rpc({"op": "request", "src": 0, "dst": 5, "hold_ns": 8000})
+                assert sub["ok"] and sub["outcome"] == "pending"
+                for _ in range(100):
+                    await asyncio.sleep(0.01)
+                    poll = await rpc({"op": "poll", "req_id": sub["req_id"]})
+                    if poll["outcome"] == "granted":
+                        break
+                else:
+                    raise AssertionError(f"never granted: {poll}")
+                stats = await rpc({"op": "stats"})
+                assert stats["stats"]["granted"] == 1
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await daemon.stop()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30))

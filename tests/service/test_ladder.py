@@ -1,0 +1,95 @@
+"""Unit tests for the overload/degradation ladder."""
+
+from __future__ import annotations
+
+from repro.service.ladder import OverloadLadder, ServiceLevel
+from repro.service.model import ServiceConfig
+
+
+def _ladder(**overrides) -> OverloadLadder:
+    cfg = ServiceConfig(
+        degrade_shed_rate=overrides.pop("degrade", 0.10),
+        recover_shed_rate=overrides.pop("recover", 0.02),
+        throttle_factor=overrides.pop("throttle", 0.5),
+        **overrides,
+    )
+    return OverloadLadder(cfg)
+
+
+class TestLadderSteps:
+    def test_starts_normal(self):
+        assert _ladder().level is ServiceLevel.NORMAL
+
+    def test_one_rung_down_per_window(self):
+        ladder = _ladder()
+        assert ladder.evaluate(100, 0.5) is ServiceLevel.THROTTLED
+        assert ladder.evaluate(200, 0.5) is ServiceLevel.DEGRADED
+        assert ladder.evaluate(300, 0.5) is ServiceLevel.BEST_EFFORT
+        # bottom rung: sustained pressure cannot step further
+        assert ladder.evaluate(400, 0.9) is ServiceLevel.BEST_EFFORT
+
+    def test_hysteresis_band_holds_level(self):
+        ladder = _ladder()
+        ladder.evaluate(100, 0.5)
+        # between recover (0.02) and degrade (0.10): no movement either way
+        assert ladder.evaluate(200, 0.05) is ServiceLevel.THROTTLED
+        assert ladder.evaluate(300, 0.05) is ServiceLevel.THROTTLED
+
+    def test_recovers_one_rung_per_window(self):
+        ladder = _ladder()
+        for t in (1, 2, 3):
+            ladder.evaluate(t, 0.5)
+        assert ladder.level is ServiceLevel.BEST_EFFORT
+        assert ladder.evaluate(4, 0.0) is ServiceLevel.DEGRADED
+        assert ladder.evaluate(5, 0.0) is ServiceLevel.THROTTLED
+        assert ladder.evaluate(6, 0.0) is ServiceLevel.NORMAL
+        assert ladder.evaluate(7, 0.0) is ServiceLevel.NORMAL
+
+    def test_transitions_are_recorded_with_reasons(self):
+        ladder = _ladder()
+        ladder.evaluate(100, 0.5)
+        ladder.evaluate(200, 0.0)
+        assert [(t, old.name, new.name) for t, old, new, _ in ladder.transitions] == [
+            (100, "NORMAL", "THROTTLED"),
+            (200, "THROTTLED", "NORMAL"),
+        ]
+        assert all(reason for _, _, _, reason in ladder.transitions)
+
+
+class TestPinnedLoss:
+    def test_forces_degraded_once(self):
+        ladder = _ladder()
+        assert ladder.note_pinned_lost(50) is True  # first loss: do the fallback
+        assert ladder.level is ServiceLevel.DEGRADED
+        assert ladder.note_pinned_lost(60) is False  # fallback already done
+        assert ladder.preload_degraded
+
+    def test_rung_recovers_but_fallback_is_permanent(self):
+        ladder = _ladder()
+        ladder.note_pinned_lost(50)
+        ladder.evaluate(100, 0.0)
+        ladder.evaluate(200, 0.0)
+        assert ladder.level is ServiceLevel.NORMAL
+        assert ladder.preload_degraded  # one-way
+
+    def test_loss_at_best_effort_does_not_improve_level(self):
+        ladder = _ladder()
+        for t in (1, 2, 3):
+            ladder.evaluate(t, 0.5)
+        ladder.note_pinned_lost(4)
+        assert ladder.level is ServiceLevel.BEST_EFFORT
+
+
+class TestBucketRate:
+    def test_geometric_throttle_per_rung(self):
+        ladder = _ladder()
+        assert ladder.bucket_rate(1000.0) == 1000.0
+        ladder.evaluate(1, 0.5)
+        assert ladder.bucket_rate(1000.0) == 500.0
+        ladder.evaluate(2, 0.5)
+        assert ladder.bucket_rate(1000.0) == 250.0
+
+    def test_unlimited_bucket_stays_unlimited(self):
+        ladder = _ladder()
+        ladder.evaluate(1, 0.5)
+        assert ladder.bucket_rate(0.0) == 0.0

@@ -1,0 +1,58 @@
+"""Unit tests for the service value objects and configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.model import Outcome, ServiceConfig, ServiceRequest
+
+
+class TestOutcome:
+    def test_shed_partition(self):
+        sheds = {o for o in Outcome if o.is_shed}
+        assert sheds == {
+            Outcome.SHED_THROTTLE,
+            Outcome.SHED_QUEUE_FULL,
+            Outcome.SHED_TIMEOUT,
+            Outcome.SHED_BEST_EFFORT,
+        }
+        assert not Outcome.GRANTED.is_shed
+        assert not Outcome.REJECTED_DEAD.is_shed  # excluded from availability
+        assert not Outcome.PENDING.is_shed
+
+
+class TestServiceRequest:
+    def test_latency_from_grant(self):
+        req = ServiceRequest(req_id=0, src=1, dst=2, arrive_ps=100, hold_ps=50)
+        assert req.pair == (1, 2)
+        req.grant_ps = 340
+        assert req.latency_ps == 240
+
+
+class TestServiceConfig:
+    def test_defaults_valid(self):
+        cfg = ServiceConfig()
+        assert cfg.scheme == "hybrid"
+        assert cfg.bucket_rate_per_s == 0.0  # unlimited by default
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(k=0),
+            dict(k=4, k_preload=5),
+            dict(k_preload=-1),
+            dict(bucket_rate_per_s=-1.0),
+            dict(bucket_burst=0),
+            dict(queue_depth=0),
+            dict(window_ps=0),
+            dict(availability_floor=1.5),
+            dict(degrade_shed_rate=0.05, recover_shed_rate=0.10),
+            dict(degrade_shed_rate=1.5),
+            dict(throttle_factor=0.0),
+            dict(throttle_factor=1.5),
+        ],
+    )
+    def test_bad_configs_rejected_eagerly(self, overrides):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(**overrides)

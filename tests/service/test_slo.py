@@ -1,0 +1,111 @@
+"""Unit tests for SLO accounting: percentiles, windows, serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.model import Outcome
+from repro.service.slo import SloRecorder, percentile_ps
+
+
+class TestPercentile:
+    def test_empty_is_sentinel(self):
+        assert percentile_ps([], 99) == -1
+
+    def test_nearest_rank_exact(self):
+        values = list(range(1, 101))  # 1..100
+        assert percentile_ps(values, 50) == 50
+        assert percentile_ps(values, 99) == 99
+        assert percentile_ps(values, 100) == 100
+        assert percentile_ps(values, 1) == 1
+
+    def test_single_value(self):
+        assert percentile_ps([7], 50) == 7
+        assert percentile_ps([7], 99) == 7
+
+    def test_small_sets_round_up(self):
+        assert percentile_ps([10, 20], 50) == 10
+        assert percentile_ps([10, 20], 51) == 20
+        assert percentile_ps([10, 20, 30], 99) == 30
+
+    @pytest.mark.parametrize("q", [0, -1, 101])
+    def test_out_of_range_rejected(self, q):
+        with pytest.raises(ConfigurationError):
+            percentile_ps([1], q)
+
+
+class TestRecorder:
+    def test_window_and_cumulative_split(self):
+        slo = SloRecorder(window_ps=1000)
+        slo.note_arrival()
+        slo.note_grant(100)
+        slo.note_arrival()
+        slo.note_shed(Outcome.SHED_QUEUE_FULL)
+        snap = slo.close_window(1000, "NORMAL", queued=0, fabric={})
+        assert (snap.arrivals, snap.granted, snap.shed) == (2, 1, 1)
+        assert snap.availability == 0.5
+        # window state reset, cumulative survives
+        slo.note_arrival()
+        slo.note_grant(200)
+        snap2 = slo.close_window(2000, "NORMAL", queued=0, fabric={})
+        assert (snap2.arrivals, snap2.granted, snap2.shed) == (1, 1, 0)
+        assert snap2.cum_granted == 2
+        assert slo.availability == 2 / 3
+
+    def test_pressure_excludes_throttle_sheds(self):
+        slo = SloRecorder(window_ps=1000)
+        for _ in range(8):
+            slo.note_grant(10)
+        slo.note_shed(Outcome.SHED_THROTTLE)
+        slo.note_shed(Outcome.SHED_THROTTLE)
+        assert slo.window_shed_rate == 0.2
+        assert slo.window_pressure_rate == 0.0  # throttle is the bucket working
+        slo.note_shed(Outcome.SHED_TIMEOUT)
+        assert slo.window_pressure_rate == pytest.approx(1 / 9)
+
+    def test_rejects_do_not_count_against_availability(self):
+        slo = SloRecorder(window_ps=1000)
+        slo.note_grant(10)
+        for _ in range(5):
+            slo.note_reject_dead()
+        assert slo.availability == 1.0
+        assert slo.rejected_dead == 5
+
+    def test_non_shed_outcome_rejected(self):
+        slo = SloRecorder(window_ps=1000)
+        with pytest.raises(ConfigurationError):
+            slo.note_shed(Outcome.GRANTED)
+
+    def test_empty_window_defaults(self):
+        slo = SloRecorder(window_ps=1000)
+        assert not slo.window_dirty
+        snap = slo.close_window(1000, "NORMAL", queued=0, fabric={})
+        assert snap.availability == 1.0
+        assert snap.shed_rate == 0.0
+        assert snap.p99_grant_ps == -1
+
+    def test_jsonl_keys_are_ordered_and_stable(self):
+        slo = SloRecorder(window_ps=1000)
+        slo.note_arrival()
+        slo.note_grant(100)
+        slo.close_window(1000, "NORMAL", queued=2, fabric={"b": 1, "a": 2})
+        line = slo.to_jsonl().strip()
+        obj = json.loads(line)
+        assert list(obj)[:3] == ["t_ps", "window_ps", "level"]
+        assert list(obj["fabric"]) == ["a", "b"]  # sorted for byte stability
+        # identical recorder state serialises byte-identically
+        assert slo.to_jsonl() == slo.to_jsonl()
+
+    def test_write_jsonl_roundtrip(self, tmp_path):
+        slo = SloRecorder(window_ps=1000)
+        slo.note_grant(1)
+        slo.close_window(1000, "NORMAL", queued=0, fabric={})
+        slo.note_grant(2)
+        slo.close_window(2000, "THROTTLED", queued=1, fabric={})
+        path = tmp_path / "slo.jsonl"
+        assert slo.write_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(ln)["level"] for ln in lines] == ["NORMAL", "THROTTLED"]

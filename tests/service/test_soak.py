@@ -1,0 +1,82 @@
+"""Chaos-soak harness tests: invariants, determinism, artifact output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.soak import SoakConfig, SoakReport, build_service, run_soak
+
+# short enough for CI, long enough to see faults + both overload bursts
+_SECONDS = 2.0
+
+
+def _cfg(**overrides) -> SoakConfig:
+    base = dict(seed=7, seconds=_SECONDS, max_wall_s=60.0)
+    base.update(overrides)
+    return SoakConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def soak_report() -> SoakReport:
+    return run_soak(_cfg())
+
+
+class TestSoakCampaign:
+    def test_invariants_hold_under_chaos(self, soak_report):
+        assert soak_report.violations == []
+        assert soak_report.ok
+
+    def test_faults_were_actually_injected(self, soak_report):
+        applied = sum(
+            v for k, v in soak_report.fault_counters.items() if k.startswith("applied_")
+        )
+        assert applied > 0
+
+    def test_load_was_actually_offered(self, soak_report):
+        assert soak_report.arrivals > 100
+        assert soak_report.granted > 0
+        assert soak_report.availability >= 0.55
+        assert soak_report.snapshots > 10
+
+    def test_summary_is_human_readable(self, soak_report):
+        text = soak_report.summary()
+        assert "seed=7" in text
+        assert "availability" in text
+        assert "invariants: all hold" in text
+
+    def test_report_json_is_stable(self, soak_report):
+        obj = json.loads(soak_report.to_json())
+        assert list(obj)[:3] == ["seed", "horizon_ps", "arrivals"]
+        assert obj["violations"] == []
+
+
+class TestSoakDeterminism:
+    def test_bit_identical_artifacts_across_runs(self, tmp_path):
+        dir_a = tmp_path / "a"
+        dir_b = tmp_path / "b"
+        report_a = run_soak(_cfg(seconds=1.0, out_dir=str(dir_a), trace=True))
+        report_b = run_soak(_cfg(seconds=1.0, out_dir=str(dir_b), trace=True))
+        assert report_a.to_json() == report_b.to_json()
+        for name in ("slo.jsonl", "report.json", "soak-trace.json"):
+            assert (dir_a / name).read_bytes() == (dir_b / name).read_bytes(), name
+
+    def test_different_seeds_diverge(self):
+        a = run_soak(_cfg(seconds=0.5))
+        b = run_soak(_cfg(seconds=0.5, seed=8))
+        assert a.to_json() != b.to_json()
+
+
+class TestSoakConfig:
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SoakConfig(seed=1, seconds=0)
+        with pytest.raises(ConfigurationError):
+            SoakConfig(seed=1, fault_rate_per_us=-1.0)
+
+    def test_build_service_preloads_predictions(self):
+        service, arrivals = build_service(_cfg(seconds=0.5))
+        assert arrivals
+        assert service.fabric.preloaded_pairs  # the prediction oracle fed preload

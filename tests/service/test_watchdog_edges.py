@@ -1,0 +1,154 @@
+"""Watchdog edge cases under service load (fault x lifecycle races).
+
+Two races the lifecycle watchdogs must survive without leaking state:
+
+* a watchdog check that fires while the lease it guards is being
+  released — the release must win cleanly (no retry storm, no shed);
+* a *double* fault (transient outage, then permanent death) on a port
+  that still has a queued admission request — the request must resolve
+  to REJECTED_DEAD exactly once and every watchdog must disarm.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultInjector
+from repro.faults.model import FaultEvent, FaultKind
+from repro.faults.schedule import FaultSchedule
+from repro.networks.lifecycle import ConnectionManager
+from repro.params import SystemParams
+from repro.service.core import SwitchService
+from repro.service.invariants import check_invariants
+from repro.service.model import Outcome, ServiceConfig
+from repro.service.workload import Arrival
+from repro.sim.clock import ns, us
+
+
+def _service(events: tuple[FaultEvent, ...], **cfg_overrides) -> SwitchService:
+    cfg = ServiceConfig(k=4, window_ps=us(10), availability_floor=0.0, **cfg_overrides)
+    injector = FaultInjector(FaultSchedule(events))
+    return SwitchService(cfg, SystemParams(n_ports=8), faults=injector)
+
+
+class TestWatchdogVsRelease:
+    def test_watchdog_fires_while_release_in_flight(self, monkeypatch):
+        # The lease's circuit is destroyed in a way the dynamic scheduler
+        # cannot repair (SL cell dead, then every slot's contents evicted
+        # by parity corruption), so the armed watchdog genuinely fires its
+        # retry checks — and while they are in flight, the hold expires
+        # and the release runs.  The watchdog must then observe a resolved
+        # pair and disarm without shedding or writing the lease off.
+        events = tuple(
+            [FaultEvent(time_ps=ns(1_000), kind=FaultKind.SL_DEAD, src=0, dst=1)]
+            + [
+                FaultEvent(time_ps=ns(1_200) + 10 * s, kind=FaultKind.REG_CORRUPT, slot=s)
+                for s in range(4)
+            ]
+        )
+        service = _service(events)
+        fires: list[int] = []
+        orig_fire = ConnectionManager._watch_fire
+
+        def spy(mgr, *args, **kwargs):
+            fires.append(service.sim.now)
+            return orig_fire(mgr, *args, **kwargs)
+
+        monkeypatch.setattr(ConnectionManager, "_watch_fire", spy)
+        # grant at ~240 ns; hold ends at ~2240 ns, between watchdog checks
+        service.run_campaign([Arrival(time_ps=0, src=0, dst=1, hold_ps=ns(2_000))])
+        req = service.requests[0]
+        release_ps = req.grant_ps + req.hold_ps
+        assert any(t < release_ps for t in fires)  # fired before the release...
+        assert any(t >= release_ps for t in fires)  # ...and observed it resolved
+        assert req.outcome is Outcome.GRANTED
+        assert req.released
+        assert service.slo.shed == 0
+        assert service.broken_leases == 0
+        assert service.lifecycle.watch_count == 0
+        assert check_invariants(service) == []
+
+    def test_release_of_written_off_lease_is_benign(self):
+        # Port death writes the lease off (broken_leases), then the
+        # still-scheduled hold-expiry release fires on the dead lease.
+        events = (FaultEvent(time_ps=ns(1_000), kind=FaultKind.LINK_FAIL, port=1),)
+        service = _service(events)
+        service.run_campaign([Arrival(time_ps=0, src=0, dst=1, hold_ps=us(5))])
+        req = service.requests[0]
+        assert req.outcome is Outcome.GRANTED  # it *was* granted before the fault
+        assert req.released  # the ledger still balances
+        assert service.broken_leases == 1
+        assert check_invariants(service) == []
+
+
+class TestDoubleFaultOnQueuedPort:
+    def test_transient_then_permanent_with_request_queued(self):
+        # t=0: submit from port 3 (request wire lands t=80ns, watchdog arms)
+        # t=100ns: transient outage on port 3 (first fault, while queued)
+        # t=200ns: permanent death on port 3 (second fault, still queued —
+        #          the grant wire would only deliver at ~240ns)
+        events = (
+            FaultEvent(
+                time_ps=ns(100),
+                kind=FaultKind.LINK_TRANSIENT,
+                port=3,
+                duration_ps=ns(500),
+            ),
+            FaultEvent(time_ps=ns(200), kind=FaultKind.LINK_FAIL, port=3),
+        )
+        service = _service(events)
+        service.run_campaign([Arrival(time_ps=0, src=3, dst=5, hold_ps=us(2))])
+        req = service.requests[0]
+        assert req.outcome is Outcome.REJECTED_DEAD
+        assert service.slo.rejected_dead == 1
+        assert service.queues.total == 0  # dequeued exactly once, no underflow
+        assert service.lifecycle.watch_count == 0  # disarm_port cleaned up
+        assert service.leases == {}
+        assert check_invariants(service) == []
+
+    def test_double_fault_spares_other_ports(self):
+        events = (
+            FaultEvent(
+                time_ps=ns(100),
+                kind=FaultKind.LINK_TRANSIENT,
+                port=3,
+                duration_ps=ns(500),
+            ),
+            FaultEvent(time_ps=ns(200), kind=FaultKind.LINK_FAIL, port=3),
+        )
+        service = _service(events)
+        service.run_campaign(
+            [
+                Arrival(time_ps=0, src=3, dst=5, hold_ps=us(2)),
+                Arrival(time_ps=0, src=0, dst=1, hold_ps=us(2)),
+                Arrival(time_ps=ns(400), src=6, dst=7, hold_ps=us(2)),
+            ]
+        )
+        outcomes = {r.pair: r.outcome for r in service.requests}
+        assert outcomes[(3, 5)] is Outcome.REJECTED_DEAD
+        assert outcomes[(0, 1)] is Outcome.GRANTED
+        assert outcomes[(6, 7)] is Outcome.GRANTED
+        assert check_invariants(service) == []
+
+    def test_late_arrival_on_dead_port_rejected_at_submit(self):
+        events = (
+            FaultEvent(
+                time_ps=ns(100),
+                kind=FaultKind.LINK_TRANSIENT,
+                port=3,
+                duration_ps=ns(500),
+            ),
+            FaultEvent(time_ps=ns(200), kind=FaultKind.LINK_FAIL, port=3),
+        )
+        service = _service(events)
+        service.run_campaign(
+            [
+                Arrival(time_ps=0, src=3, dst=5, hold_ps=us(2)),
+                # arrives after the port died: the front door rejects it
+                Arrival(time_ps=ns(300), src=5, dst=3, hold_ps=us(2)),
+            ]
+        )
+        assert [r.outcome for r in service.requests] == [
+            Outcome.REJECTED_DEAD,
+            Outcome.REJECTED_DEAD,
+        ]
+        assert service.queues.total == 0
+        assert check_invariants(service) == []
