@@ -17,6 +17,7 @@ from repro.params import PAPER_PARAMS
 from repro.sched.presched import compute_l
 from repro.sim.engine import Simulator
 from repro.traffic.mesh import OrderedMeshPattern
+from repro.traffic.scatter import ScatterPattern
 
 
 def test_presched_vectorised_128(benchmark):
@@ -63,6 +64,30 @@ def test_end_to_end_small_tdm_run(benchmark):
                 RunSpec("dynamic-tdm", params, k=4, injection_window=4)
             ),
         )
+
+    point = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert point.efficiency > 0
+
+
+def test_fastpath_small_tdm_run(benchmark):
+    """The slot-synchronous kernel on a streaming workload.
+
+    Long per-destination streams give the quiescent-window machinery room
+    to work; the point must match the event path bit-for-bit (the identity
+    itself is CI-enforced and covered by tests/sim/test_fastpath.py — the
+    assert here just pins that windows actually opened, so this bench
+    keeps measuring the fast path rather than a silent fallback).
+    """
+    params = PAPER_PARAMS.with_overrides(n_ports=16)
+
+    def run():
+        net = build_network(
+            RunSpec("dynamic-tdm", params, k=4, injection_window=4, fast=True)
+        )
+        point = measure(ScatterPattern(16, 2048), net)
+        assert net._fastpath is not None
+        assert net._fastpath.stats()["windows_opened"] > 0
+        return point
 
     point = benchmark.pedantic(run, rounds=3, iterations=1)
     assert point.efficiency > 0

@@ -28,6 +28,7 @@ the executor telemetry to stderr.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -42,6 +43,7 @@ from .experiments.table3 import format_table3
 from .metrics.report import format_table
 from .networks.multihop import MultiHopModel
 from .params import PAPER_PARAMS, SystemParams
+from .sim.fastpath import FAST_ENV_VAR
 
 __all__ = ["main"]
 
@@ -423,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--ports", type=int, default=128, help="system size (default 128)")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="workload seed")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="slot-synchronous fast execution for the TDM schemes "
+        "(byte-identical output; sets REPRO_FAST=1 so sweep workers inherit it)",
+    )
     # the engine knobs are accepted both before and after the subcommand
     # (the parent parser uses SUPPRESS so a subcommand-position flag wins
     # and an absent one does not clobber the top-level value)
@@ -614,6 +622,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "fast", False):
+        # the environment route reaches every construction site, including
+        # the sweep executor's worker processes (they inherit the environ)
+        os.environ[FAST_ENV_VAR] = "1"
     return args.fn(args)
 
 

@@ -29,6 +29,7 @@ from ..faults.injector import FaultInjector
 from ..params import SystemParams
 from ..sched.priority import RotationPolicy, RoundRobinPriority
 from ..sched.scheduler import Scheduler
+from ..sched.slarray import wavefront_batch
 from ..sim.engine import Priority
 from ..sim.trace import Tracer
 from ..traffic.base import TrafficPhase
@@ -54,12 +55,17 @@ class CircuitNetwork(BaseNetwork):
         rotation: RotationPolicy | None = None,
         tracer: Tracer | None = None,
         faults: FaultInjector | None = None,
+        fast: bool | None = None,
         strict: bool | None = None,
         max_wall_s: float | None = None,
     ) -> None:
         super().__init__(
             params, tracer, faults=faults, strict=strict, max_wall_s=max_wall_s
         )
+        #: accepted for RunSpec symmetry with the TDM schemes and ignored:
+        #: circuit switching has no periodic slot clock, so there is no
+        #: slot-synchronous fast path to select (repro.sim.fastpath)
+        self.fast = False if fast is None else bool(fast)
         self.rotation_template = rotation
         self.scheduler: Scheduler | None = None
         self._fifo: list[deque[Message]] = []
@@ -75,6 +81,10 @@ class CircuitNetwork(BaseNetwork):
         self.scheduler = Scheduler(self.params, k=1, rotation=rotation)
         self.scheduler.tracer = self.tracer
         self.scheduler.clock = lambda: self.sim.now
+        if self.fast:
+            # circuit switching has no slot clock to batch, but its SL
+            # passes can use the vectorised wavefront (bit-identical)
+            self.scheduler.wavefront = wavefront_batch
         self._fifo = [deque() for _ in range(n)]
         self._state = [_IDLE] * n
         self._current = [None] * n

@@ -94,6 +94,10 @@ class RunSpec:
     injection_window: int | None = DEFAULT_INJECTION_WINDOW
     tracer: Tracer | None = None
     faults: FaultInjector | None = None
+    #: slot-synchronous fast execution for the TDM schemes (byte-identical
+    #: to the event path; see repro.sim.fastpath).  None defers to the
+    #: REPRO_FAST environment variable; non-TDM schemes ignore it.
+    fast: bool | None = None
     strict: bool | None = None
     max_wall_s: float | None = None
     options: dict[str, Any] = field(default_factory=dict)
@@ -195,6 +199,7 @@ def _make_circuit(spec: RunSpec) -> BaseNetwork:
         spec.params,
         tracer=spec.tracer,
         faults=spec.faults,
+        fast=spec.fast,
         strict=spec.strict,
         max_wall_s=spec.max_wall_s,
         **spec.options,
@@ -217,6 +222,7 @@ def _tdm_factory(mode: str) -> SchemeFactory:
             injection_window=spec.injection_window,
             tracer=spec.tracer,
             faults=spec.faults,
+            fast=spec.fast,
             strict=spec.strict,
             max_wall_s=spec.max_wall_s,
             **spec.options,

@@ -51,6 +51,7 @@ from ..sched.multiunit import MultiUnitScheduler
 from ..sched.priority import RotationPolicy, RoundRobinPriority
 from ..sched.scheduler import Scheduler
 from ..sim.engine import Priority
+from ..sim.fastpath import FastPath, fast_from_env, fastpath_ineligible
 from ..sim.trace import Tracer
 from ..traffic.base import TrafficPhase
 from ..types import Connection, Message, MessageRecord
@@ -82,6 +83,7 @@ class TdmNetwork(BaseNetwork):
         prefetcher: MarkovPrefetcher | None = None,
         fabric_constraint: FabricConstraint | None = None,
         faults: FaultInjector | None = None,
+        fast: bool | None = None,
         strict: bool | None = None,
         max_wall_s: float | None = None,
     ) -> None:
@@ -135,7 +137,11 @@ class TdmNetwork(BaseNetwork):
                 "fabric constraints and multiple SL units are mutually exclusive"
             )
         self.scheme = f"tdm-{mode}"
+        #: slot-synchronous fast execution (repro.sim.fastpath) — byte-
+        #: identical to the event path; irregular runs fall back per run
+        self.fast = fast_from_env() if fast is None else bool(fast)
         # per-run state
+        self._fastpath: FastPath | None = None
         self.scheduler: Scheduler | None = None
         self.predictor: Predictor = NullPredictor()
         self.crossbar: Crossbar | None = None
@@ -198,6 +204,12 @@ class TdmNetwork(BaseNetwork):
         # lifecycle layer through the lifecycle_* callbacks below
         self._degraded = False
         self.lifecycle.attach_scheduler(self.scheduler, client=self)
+        # slot-synchronous execution: decided per run, after the fault and
+        # scheduler state above is known (_faults_active is set by run())
+        if self.fast and fastpath_ineligible(self) is None:
+            self._fastpath = FastPath(self)
+        else:
+            self._fastpath = None
 
     def _inject(self, phase: TrafficPhase) -> None:
         """Inject a phase, honouring the per-NIC injection window.
@@ -492,6 +504,7 @@ class TdmNetwork(BaseNetwork):
     # -- the TDM slot clock ---------------------------------------------------------------
 
     def _slot_tick(self) -> None:
+        fp = self._fastpath
         sched = self.scheduler
         assert sched is not None
         t = self.sim.now
@@ -500,10 +513,17 @@ class TdmNetwork(BaseNetwork):
         if slot is not None:
             assert self.crossbar is not None
             self.crossbar.apply(sched.registers[slot])
-            self._transfer_slot(slot, t)
+            if fp is not None:
+                fp.transfer_slot(slot, t)
+            else:
+                self._transfer_slot(slot, t)
             self._maybe_advance_batch()
         if self._phase_remaining > 0 or self.sim.pending > 0:
             self.sim.schedule(self.params.slot_ps, self._slot_tick, priority=Priority.FABRIC)
+        if fp is not None:
+            # with both clocks re-armed the window precomputation can see
+            # the full heap; opening is refused unless provably safe
+            fp.maybe_open_window()
 
     def _transfer_slot(self, slot: int, t: int) -> None:
         """Move data over every granted connection of one slot."""
@@ -586,6 +606,9 @@ class TdmNetwork(BaseNetwork):
     # -- the SL clock -------------------------------------------------------------------------
 
     def _sl_tick(self) -> None:
+        fp = self._fastpath
+        if fp is not None and fp.handle_sl_tick():
+            return  # a provably no-op pass, applied without the SL array
         sched = self.scheduler
         assert sched is not None
         t = self.sim.now

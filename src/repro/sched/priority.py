@@ -37,6 +37,17 @@ class RotationPolicy(ABC):
     def next_rotation(self) -> tuple[int, int]:
         """The injection point to use for the next SL pass."""
 
+    def advance(self, steps: int) -> None:
+        """Skip ``steps`` rotations, as if :meth:`next_rotation` ran that
+        many times with the results discarded.
+
+        The slot-synchronous fast path uses this to apply a whole run of
+        no-op SL passes in one call; stateless and modular policies
+        override it with an O(1) jump.
+        """
+        for _ in range(steps):
+            self.next_rotation()
+
     def reset(self) -> None:
         """Return to the initial state (default: nothing to do)."""
 
@@ -53,6 +64,9 @@ class FixedPriority(RotationPolicy):
     def next_rotation(self) -> tuple[int, int]:
         return self._point
 
+    def advance(self, steps: int) -> None:
+        pass  # stateless
+
 
 class RoundRobinPriority(RotationPolicy):
     """Advance the injection point by one row and one column per pass."""
@@ -67,6 +81,10 @@ class RoundRobinPriority(RotationPolicy):
         self._a = (self._a + 1) % self.n
         self._b = (self._b + 1) % self.n
         return point
+
+    def advance(self, steps: int) -> None:
+        self._a = (self._a + steps) % self.n
+        self._b = (self._b + steps) % self.n
 
     def reset(self) -> None:
         self._a = 0

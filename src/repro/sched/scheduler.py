@@ -72,6 +72,10 @@ class Scheduler:
         #: so connection (u, v) is invisible to the dynamic scheduler
         self.dead_cells: np.ndarray | None = None
         self._sl_cursor = 0
+        #: wavefront evaluator — `wavefront_sparse` by default; the
+        #: slot-synchronous fast path swaps in `wavefront_batch` (the two
+        #: are bit-identical, so either is always safe)
+        self.wavefront = wavefront_sparse
         self.counters = Counter()
         #: observability hooks — the owning network model assigns both so
         #: passes are traced with simulation timestamps (subclasses keep
@@ -214,7 +218,7 @@ class Scheduler:
         if self.dead_cells is not None:
             l = l & ~self.dead_cells
         rows, cols = np.nonzero(l)
-        outcome = wavefront_sparse(
+        outcome = self.wavefront(
             rows,
             cols,
             cfg.b,

@@ -36,22 +36,39 @@ PS_PER_US = 1_000_000
 PS_PER_MS = 1_000_000_000
 
 
+def _exact_ps(value: float | int, scale: int, unit: str) -> int:
+    """Convert ``value`` (in units of ``scale`` ps) to exact integer ps.
+
+    Goes through the decimal string (like :func:`byte_time_ps`) so the
+    check is exact for any magnitude: ``0.5 ns`` means 1/2 exactly, and a
+    large float either scales to an integer or is rejected — there is no
+    absolute tolerance that silently mis-rounds big inputs.
+    """
+    if isinstance(value, int):
+        return value * scale
+    try:
+        exact = Fraction(str(value)) * scale
+    except ValueError:
+        raise ConfigurationError(
+            f"{value} {unit} is not an integer picosecond count"
+        ) from None
+    if exact.denominator != 1:
+        raise ConfigurationError(f"{value} {unit} is not an integer picosecond count")
+    return int(exact)
+
+
 def ns(value: float | int) -> int:
     """Convert nanoseconds to integer picoseconds.
 
     Accepts floats for convenience (``ns(0.5)``) but the result must be an
     exact integer number of picoseconds.
     """
-    out = value * PS_PER_NS
-    rounded = round(out)
-    if abs(out - rounded) > 1e-9:
-        raise ConfigurationError(f"{value} ns is not an integer picosecond count")
-    return int(rounded)
+    return _exact_ps(value, PS_PER_NS, "ns")
 
 
 def us(value: float | int) -> int:
     """Convert microseconds to integer picoseconds."""
-    return ns(value * 1_000)
+    return _exact_ps(value, PS_PER_US, "us")
 
 
 def ps_to_ns(value_ps: int) -> float:

@@ -282,14 +282,25 @@ class Simulator:
         ``max_wall_s``) are forwarded to :meth:`run` unchanged, so a
         watchdog guards polled runs exactly like plain ones.
         """
+        # Track the queued probe so every exit path can cancel it: leaving
+        # via ``until``/``max_events``/the watchdog (or a ``stop()`` from
+        # another callback) would otherwise leak the self-rescheduling
+        # chain into every subsequent ``run()``.
+        armed: list[Event | None] = [None]
+
         def probe() -> None:
+            armed[0] = None
             if idle_check():
                 self.stop()
             else:
-                self.schedule(poll_ps, probe, priority=Priority.MONITOR)
+                armed[0] = self.schedule(poll_ps, probe, priority=Priority.MONITOR)
 
-        self.schedule(0, probe, priority=Priority.MONITOR)
-        return self.run(until=until, max_events=max_events, max_wall_s=max_wall_s)
+        armed[0] = self.schedule(0, probe, priority=Priority.MONITOR)
+        try:
+            return self.run(until=until, max_events=max_events, max_wall_s=max_wall_s)
+        finally:
+            if armed[0] is not None:
+                armed[0].cancel()
 
     @property
     def pending(self) -> int:

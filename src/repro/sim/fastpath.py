@@ -1,0 +1,625 @@
+"""Slot-synchronous fast execution for the TDM network model.
+
+The discrete-event model spends most of its time in two periodic events —
+the TDM slot tick and the SL scheduler tick — whose work is, for long
+stretches of a run, completely predictable: established connections stream
+one slot's worth of bytes per turn while the scheduler's pre-scheduling
+matrix stays empty.  This module exploits that regularity without changing
+a single observable of the simulation:
+
+* when a *quiescent window* is proven — an interval in which the scheduler
+  is inert, per-slot transfers are pure arithmetic, and **no other heap
+  event fires** — every tick inside it is applied in closed form at the
+  moment the window opens: slot/SL counters advance in bulk, the bytes the
+  window will move are debited from queues and credited to the ledger, the
+  two clocks are re-timed past the window, and the skipped periodic events
+  are credited to ``Simulator.events_executed`` (each one's effect *was*
+  executed, just not through the heap), so event counts and every
+  ``RunResult`` field stay **byte-identical** to the event-driven path
+  (CI diffs the two modes on real sweeps);
+* outside windows, an SL tick whose pre-scheduling matrix is provably
+  empty (:meth:`FastPath.handle_sl_tick`) skips the full pass and applies
+  its only effects — cursor, rotation, pass counters — directly;
+* :meth:`FastPath.transfer_slot` replaces the per-slot transfer loop with
+  a vectorised grant/ready/pending mask plus an inlined partial-drain
+  branch, and the scheduler's wavefront evaluator is swapped for
+  :func:`~repro.sched.slarray.wavefront_batch` (bit-identical by
+  construction; see its property tests).
+
+A window may open, at the end of a normal slot tick at time ``t0``, only
+when ALL of the following hold (checked against live state, never cached
+across ticks):
+
+* the run is fast-path eligible at all (:func:`fastpath_ineligible`);
+* the predictor is the :class:`~repro.predict.base.NullPredictor`, no
+  prefetcher and no boost policy are attached, and no preload-batch load
+  is in flight — these act on their own clocks and would mutate scheduler
+  state mid-window;
+* every SL pass inside the window is provably inert: no dynamic slot
+  holds a release candidate (``B(s) & ~(R | latched)``), and every
+  establish candidate (``(R | latched) & ~B*``, slot-independent because
+  ``B(s) <= B*``), if any exist, lacks a free input-and-output pair in
+  every dynamic slot — grant signals only move on toggles, so entry
+  occupancy alone decides, and each inert pass counts exactly the number
+  of establish candidates as blocked;
+* every connection in a slot the frozen TDM counter will apply either has
+  no pending bytes, or is fully ready (its grant has propagated:
+  ``conn_ready <= t0``) with an already-injected head message — otherwise
+  service would start mid-window without a heap event marking the change.
+
+The window then ends strictly before the earliest of: the first message
+completion on any served connection, the tick at which the current preload
+batch would drain to zero, and the first non-tick heap event (so nothing
+at all happens *inside* a window; the breaking tick itself runs through
+the fully general event-driven code).  A window no heap event bounds is
+refused: a run that deadlocks with its clocks spinning must keep spinning
+into the event valve exactly like the event path does.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..predict.base import NullPredictor
+from ..sched.scheduler import Scheduler
+from ..sched.slarray import wavefront_batch
+from ..types import MessageRecord
+from .engine import Event, Priority
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tdm imports us)
+    from ..networks.tdm import TdmNetwork
+    from ..nic.queues import DrainedMessage
+    from ..types import Message
+
+__all__ = [
+    "FAST_ENV_VAR",
+    "fast_from_env",
+    "fastpath_ineligible",
+    "FastPath",
+]
+
+#: environment variable that turns slot-synchronous execution on globally
+#: (the CLI's ``--fast`` sets it so worker processes inherit the mode)
+FAST_ENV_VAR = "REPRO_FAST"
+
+#: a window shorter than this many slot ticks is not worth the entry
+#: analysis plus the clock re-timing it buys
+_MIN_WINDOW_SLOTS = 2
+
+
+def fast_from_env() -> bool:
+    """Resolve the ``REPRO_FAST`` environment default (unset/"0" = off)."""
+    return os.environ.get(FAST_ENV_VAR, "") not in ("", "0")
+
+
+def fastpath_ineligible(net: "TdmNetwork") -> str | None:
+    """Why ``net``'s current run cannot use the fast path (None: it can).
+
+    The fast path services exactly the regular core of the model: a plain
+    single-unit :class:`~repro.sched.scheduler.Scheduler` with no tracing
+    and no fault campaign.  Everything else — fault injection with its
+    watchdog windows, multi-unit or fabric-constrained schedulers, event
+    tracing — falls back to the event-driven path, which remains the
+    single source of truth.
+    """
+    if net.tracer.enabled:
+        return "event tracing is enabled"
+    if net._faults_active:
+        return "a fault schedule is active"
+    if type(net.scheduler) is not Scheduler:
+        return "non-plain scheduler (multi-unit or fabric-constrained)"
+    return None
+
+
+def _count_before(positions: list[int], m: int, tau: int, p: int, w: int) -> int:
+    """Occurrences among the first ``m`` ticks of a tail+cycle sequence.
+
+    ``positions`` holds the (sorted) tick indices of one connection's
+    service turns within the tail (indices ``< tau``) and the first cycle
+    period (indices ``tau .. tau+p-1``); ``w`` of them lie in the cycle.
+    """
+    if m <= tau:
+        return sum(1 for i in positions if i < m)
+    full, rem = divmod(m - tau, p)
+    base = len(positions) - w  # all tail occurrences
+    in_rem = sum(1 for i in positions if i >= tau and i - tau < rem)
+    return base + full * w + in_rem
+
+
+def _index_of_occurrence(
+    positions: list[int], k: int, tau: int, p: int, w: int
+) -> int | None:
+    """Tick index of the ``k``-th (1-based) service turn, or None if never."""
+    if k <= len(positions) - w:
+        return positions[k - 1]
+    k -= len(positions) - w
+    if w == 0:
+        return None
+    cyc = positions[len(positions) - w :]
+    full, rem = divmod(k - 1, w)
+    return full * p + cyc[rem]
+
+
+class FastPath:
+    """Per-run slot-synchronous execution state for one TdmNetwork run.
+
+    Created in ``TdmNetwork._reset_scheme_state`` when the run is eligible;
+    owns the shared queue-byte matrix, the vectorised transfer, and the
+    quiescent-window machinery.  All effects are bit-identical to the
+    event-driven path, so nothing here appears in ``RunResult`` counters;
+    :meth:`stats` exposes diagnostics through a side channel instead.
+    """
+
+    def __init__(self, net: "TdmNetwork") -> None:
+        assert net.scheduler is not None and net.crossbar is not None
+        self.net = net
+        self.sim = net.sim
+        self.sched = net.scheduler
+        n = net.params.n_ports
+        #: all NICs' pending-byte vectors as rows of one matrix, so the
+        #: per-slot transfer can gather pending state with one fancy index.
+        #: The rows are *views*: every VOQ mutation lands here directly.
+        self.queue_bytes = np.zeros((n, n), dtype=np.int64)
+        for nic in net.nics:
+            row = self.queue_bytes[nic.port]
+            row[:] = nic.voqs.bytes_pending
+            nic.voqs.bytes_pending = row
+        # the batch wavefront is bit-identical to the sparse walk; dense
+        # L matrices (phase starts, all-to-all) are where it pays off
+        self.sched.wavefront = wavefront_batch
+        self._path_ps = net.crossbar.path_latency_ps()
+        self._quiet_capable = (
+            isinstance(net.predictor, NullPredictor)
+            and net.prefetcher is None
+            and net.boost_policy is None
+        )
+        self._null_predictor = isinstance(net.predictor, NullPredictor)
+        # diagnostics (side channel only — never RunResult counters)
+        self.windows_opened = 0
+        self.quiet_slot_ticks = 0
+        self.quiet_sl_ticks = 0
+        self.window_denials = 0
+        self.trivial_sl_ticks = 0
+        #: windows are impossible before this time (a near heap event was
+        #: seen); purely an attempt filter — skipping an attempt never
+        #: changes observables, only how fast a denial is reached
+        self._skip_until = 0
+
+    def stats(self) -> dict[str, int]:
+        """Fast-path diagnostics (not part of any byte-compared output)."""
+        return {
+            "windows_opened": self.windows_opened,
+            "quiet_slot_ticks": self.quiet_slot_ticks,
+            "quiet_sl_ticks": self.quiet_sl_ticks,
+            "window_denials": self.window_denials,
+            "trivial_sl_ticks": self.trivial_sl_ticks,
+        }
+
+    # -- the provably-empty SL pass -------------------------------------------
+
+    def handle_sl_tick(self) -> bool:
+        """Run one SL tick whose pass is provably a no-op; False: run it.
+
+        Outside quiescent windows most SL passes find an empty
+        pre-scheduling matrix and change nothing but the cursor, the
+        rotation, and the pass counters.  Emptiness is decided by the same
+        Table-1 terms ``compute_l`` evaluates — establish
+        ``(R|latched) & ~B*`` (slot-independent since ``B(s) <= B*``) and
+        release ``B(s) & ~(R|latched)`` for the slot this pass would
+        schedule — so the replicated effects are exact, not approximate.
+        """
+        if not self._quiet_capable:
+            return False
+        sched = self.sched
+        if sched.dead_cells is not None:
+            return False
+        regs = sched.registers
+        dynamic = regs.dynamic_slots()
+        if not dynamic:
+            sched.counters.inc("passes_idle")
+        else:
+            r = sched.r_view
+            eff_r = (r | sched.latched) if sched.latched.any() else r
+            cfg = regs.slots[dynamic[sched._sl_cursor % len(dynamic)]]
+            if len(cfg) and bool(np.any(cfg.b & ~eff_r)):
+                return False  # a release would toggle: run the real pass
+            est = eff_r & ~regs.b_star
+            blocked = 0
+            if est.any():
+                # establish candidates exist; the pass is still a no-op iff
+                # each lacks a free input AND output in this slot (signals
+                # only move on toggles, so entry occupancy decides alone)
+                free = ~cfg.input_busy()[:, None] & ~cfg.output_busy()[None, :]
+                if bool(np.any(est & free)):
+                    return False
+                blocked = int(np.count_nonzero(est))
+            sched._sl_cursor += 1
+            sched.rotation.next_rotation()
+            sched.counters.inc("passes")
+            sched.counters.inc("blocked", blocked)
+        self.trivial_sl_ticks += 1
+        net = self.net
+        if net._phase_remaining > 0 or self.sim.pending > 0:
+            self.sim.schedule(
+                net.params.scheduler_pass_ps, net._sl_tick, priority=Priority.SCHEDULER
+            )
+        return True
+
+    # -- quiescent windows -----------------------------------------------------
+
+    def maybe_open_window(self) -> None:
+        """Apply a quiescent window in closed form, if one is provable.
+
+        Called at the end of a normal slot tick, after both clocks are
+        re-armed.  On success every in-window tick's effect is applied
+        immediately (nothing else can observe intermediate state: by
+        construction no heap event fires strictly inside the window), the
+        clocks are re-timed to their first post-window tick, and the
+        skipped events are credited to the simulator's executed count.
+        """
+        net = self.net
+        sched = self.sched
+        if not self._quiet_capable or net._batch_loading:
+            return
+        t = self.sim.now
+        if t < self._skip_until:
+            self.window_denials += 1
+            return
+        slot_ps = net.params.slot_ps
+
+        # scan the heap up front: it is the cheapest gate, and while wire
+        # events are in flight (request/grant dances between phases) the
+        # near horizon denies the window before any matrix analysis runs.
+        # The same scan finds the armed clock events the commit re-times
+        # and the first break: the earliest non-clock heap event.
+        slot_fn = net._slot_tick
+        sl_fn = net._sl_tick
+        horizon: int | None = None
+        slot_ev: Event | None = None
+        sl_ev: Event | None = None
+        for entry in self.sim._heap:
+            ev = entry[3]
+            fn = ev.fn
+            if fn is None:
+                continue
+            if fn == slot_fn:
+                slot_ev = ev
+            elif fn == sl_fn:
+                sl_ev = ev
+            elif horizon is None or entry[0] < horizon:
+                horizon = entry[0]
+        if slot_ev is None or sl_ev is None:  # pragma: no cover - always armed
+            self.window_denials += 1
+            return
+        if horizon is not None and horizon <= t + _MIN_WINDOW_SLOTS * slot_ps:
+            # an event only leaves the heap by executing, so every slot
+            # tick before `horizon` passes is denied for the same reason
+            self._skip_until = horizon
+            self.window_denials += 1
+            return
+
+        # scheduler inertness: every in-window pass must toggle nothing.
+        # The release term of Table 1 must be empty for each dynamic slot;
+        # establish candidates (slot-independent, since B(s) <= B*) are
+        # tolerated only if every one is port-blocked in every dynamic
+        # slot — grant signals move on toggles alone, so entry occupancy
+        # decides, and each pass then counts exactly |E| blocked cells.
+        r = sched.r_view
+        eff_r = (r | sched.latched) if sched.latched.any() else r
+        regs = sched.registers
+        dynamic = regs.dynamic_slots()
+        est_count = 0
+        if dynamic:
+            est = eff_r & ~regs.b_star
+            has_est = bool(est.any())
+            for s in dynamic:
+                cfg = regs.slots[s]
+                if len(cfg) and bool(np.any(cfg.b & ~eff_r)):
+                    self.window_denials += 1
+                    return
+                if has_est:
+                    free = (
+                        ~cfg.input_busy()[:, None] & ~cfg.output_busy()[None, :]
+                    )
+                    if bool(np.any(est & free)):
+                        self.window_denials += 1
+                        return
+            if has_est:
+                est_count = int(np.count_nonzero(est))
+
+        # the frozen TDM counter's slot sequence: a transient tail that
+        # leads into a cycle (both of length <= k)
+        pending = r if net.skip_idle_slots else None
+        useful = []
+        for s in range(regs.k):
+            cfg = regs.slots[s]
+            useful.append(
+                s not in regs.quarantined
+                and not cfg.is_empty
+                and (pending is None or bool(np.any(cfg.b & pending)))
+            )
+
+        def nxt(cur: int) -> int | None:
+            for step in range(1, regs.k + 1):
+                cand = (cur + step) % regs.k
+                if useful[cand]:
+                    return cand
+            return None
+
+        first = nxt(sched.tdm.current)
+        if first is None:
+            tail: list[int] = []
+            cycle: list[int] = []
+            no_slots = True
+        else:
+            seq = [first]
+            seen = {first: 0}
+            while True:
+                s2 = nxt(seq[-1])
+                assert s2 is not None  # a useful slot always finds a successor
+                if s2 in seen:
+                    tail = seq[: seen[s2]]
+                    cycle = seq[seen[s2] :]
+                    break
+                seen[s2] = len(seq)
+                seq.append(s2)
+            no_slots = False
+
+        # per-connection service analysis over the slots that will be
+        # applied; any connection whose service could *start* mid-window
+        # (grant or head injection still in flight) vetoes the window
+        conn_ready = net._conn_ready
+        assert conn_ready is not None
+        qb = self.queue_bytes
+        slot_bytes = net.params.slot_bytes
+        slot_opps: dict[int, int] = {}
+        slot_moves: dict[int, int] = {}
+        bslot: dict[int, int] = {}
+        conn_head: dict[tuple[int, int], "Message"] = {}
+        conn_slots: dict[tuple[int, int], set[int]] = {}
+        for s in sorted(set(tail) | set(cycle)):
+            cfg = regs.slots[s]
+            rtc = cfg.row_to_col
+            us = np.nonzero(rtc >= 0)[0]
+            slot_opps[s] = len(us)
+            vs = rtc[us]
+            act = qb[us, vs] > 0
+            moves = 0
+            batch_moves = 0
+            if act.any():
+                aus = us[act]
+                avs = vs[act]
+                if bool(np.any(conn_ready[aus, avs] > t)):
+                    self.window_denials += 1
+                    return
+                for u, v in zip(aus.tolist(), avs.tolist()):
+                    head = net.nics[u].voqs.head(v)
+                    assert head is not None
+                    if head.inject_ps > t:
+                        self.window_denials += 1
+                        return
+                    moves += 1
+                    if (u, v) in net._batch_conns:
+                        batch_moves += 1
+                    conn_head[(u, v)] = head
+                    conn_slots.setdefault((u, v), set()).add(s)
+            slot_moves[s] = moves
+            bslot[s] = batch_moves
+
+        # first break: the earliest tick a served head would complete on
+        tau = len(tail)
+        p = len(cycle)
+        break_idx: int | None = None
+        served: list[tuple[int, int, "Message", list[int], int]] = []
+        for (u, v), slots_of in sorted(conn_slots.items()):
+            positions = [i for i, s in enumerate(tail) if s in slots_of]
+            w0 = len(positions)
+            positions += [tau + i for i, s in enumerate(cycle) if s in slots_of]
+            w = len(positions) - w0
+            head = conn_head[(u, v)]
+            k_done = -(-head.remaining // slot_bytes)  # ceil: drains to finish
+            idx = _index_of_occurrence(positions, k_done, tau, p, w)
+            if idx is not None and (break_idx is None or idx < break_idx):
+                break_idx = idx
+            served.append((u, v, head, positions, w))
+
+        # second break: the tick the current preload batch drains to zero
+        # (that tick must run normally — it schedules the next batch load)
+        if net._program is not None and net._batch_remaining > 0:
+            units = -(-net._batch_remaining // slot_bytes)
+            bidx = self._batch_break_index(tail, cycle, bslot, units)
+            if bidx is not None and (break_idx is None or bidx < break_idx):
+                break_idx = bidx
+
+        end: int | None = None if break_idx is None else t + (break_idx + 1) * slot_ps
+        if horizon is not None and (end is None or horizon < end):
+            end = horizon
+        if end is None:
+            # nothing bounds the window: the event path would tick forever
+            # into its per-phase event valve, and so must we
+            self.window_denials += 1
+            return
+        m = (end - t - 1) // slot_ps  # slot ticks strictly inside the window
+        if m < _MIN_WINDOW_SLOTS:
+            # `end` only moves earlier as t advances (the same break is
+            # still there), so attempts before it stay denied as well
+            self._skip_until = end
+            self.window_denials += 1
+            return
+
+        # ---- commit: apply every in-window tick in closed form ----------
+        sl_ps = net.params.scheduler_pass_ps
+        ts1 = sl_ev.time
+        j_m = 0 if ts1 >= end else (end - ts1 - 1) // sl_ps + 1
+
+        tdm = sched.tdm
+        if no_slots:
+            tdm.idle_ticks += m
+        else:
+            crossbar = net.crossbar
+            assert crossbar is not None
+            opps = 0
+            moved_conns = 0
+            for s in sorted(slot_opps):
+                spos = [i for i, x in enumerate(tail) if x == s]
+                w_s0 = len(spos)
+                spos += [tau + i for i, x in enumerate(cycle) if x == s]
+                occ = _count_before(spos, m, tau, p, len(spos) - w_s0)
+                opps += occ * slot_opps[s]
+                moved_conns += occ * slot_moves[s]
+            net._slot_opportunities += opps
+            net._slot_transfers += moved_conns
+            tdm.advances += m
+            last = tail[m - 1] if m - 1 < tau else cycle[(m - 1 - tau) % p]
+            tdm.current = last
+            # the event path reloads the active configuration every applied
+            # slot; only the last load is observable
+            crossbar.reconfigurations += m
+            crossbar.active.load(regs.slots[last])
+            for u, v, head, positions, w in served:
+                occ = _count_before(positions, m, tau, p, w)
+                if occ == 0:
+                    continue
+                voqs = net.nics[u].voqs
+                if head.remaining == head.size and id(head) not in voqs._starts:
+                    voqs._starts[id(head)] = t + (positions[0] + 1) * slot_ps
+                moved = occ * slot_bytes
+                head.remaining -= moved
+                voqs.bytes_pending[v] -= moved
+                assert head.remaining > 0, "window overran a message completion"
+                net.ledger.send(u, v, moved)
+                if (u, v) in net._batch_conns:
+                    net._batch_remaining -= moved
+
+        if j_m:
+            if dynamic:
+                # j_m inert passes: cursor and rotation advance, the passes
+                # are counted, and each one blocks the same |E| cells
+                sched._sl_cursor += j_m
+                sched.rotation.advance(j_m)
+                sched.counters.inc("passes", j_m)
+                sched.counters.inc("blocked", j_m * est_count)
+            else:
+                sched.counters.inc("passes_idle", j_m)
+            sl_ev.cancel()
+            self.sim.schedule_at(
+                ts1 + j_m * sl_ps, net._sl_tick, priority=Priority.SCHEDULER
+            )
+
+        slot_ev.cancel()
+        self.sim.schedule_at(
+            t + (m + 1) * slot_ps, net._slot_tick, priority=Priority.FABRIC
+        )
+        # the skipped periodic events *were* executed — in closed form,
+        # above — so the executed count (and RunResult's "events" counter)
+        # stays identical to the event-driven path
+        self.sim.events_executed += m + j_m
+
+        self.windows_opened += 1
+        self.quiet_slot_ticks += m
+        self.quiet_sl_ticks += j_m
+
+    @staticmethod
+    def _batch_break_index(
+        tail: list[int], cycle: list[int], bslot: dict[int, int], units: int
+    ) -> int | None:
+        """Tick index at which ``units`` batch-connection drains accumulate."""
+        acc = 0
+        for i, s in enumerate(tail):
+            acc += bslot.get(s, 0)
+            if acc >= units:
+                return i
+        per_cycle = sum(bslot.get(s, 0) for s in cycle)
+        if per_cycle == 0:
+            return None
+        need = units - acc
+        full = (need - 1) // per_cycle
+        need -= full * per_cycle
+        acc = 0
+        for j, s in enumerate(cycle):
+            acc += bslot.get(s, 0)
+            if acc >= need:
+                return len(tail) + full * len(cycle) + j
+        return None  # pragma: no cover - need <= per_cycle by construction
+
+    # -- the vectorised per-slot transfer -------------------------------------
+
+    def transfer_slot(self, slot: int, t: int) -> None:
+        """Byte-identical replacement for ``TdmNetwork._transfer_slot``.
+
+        Only reached when tracing is off and no faults are active (the
+        eligibility gate), so those branches of the original are dead here;
+        the grant/ready/pending skip cascade is evaluated as one vector
+        mask and the common mid-message slot — a pure partial drain — is
+        inlined without touching the deque.
+        """
+        net = self.net
+        params = net.params
+        cfg = self.sched.registers.slots[slot]
+        rtc = cfg.row_to_col
+        us = np.nonzero(rtc >= 0)[0]
+        net._slot_opportunities += len(us)
+        conn_ready = net._conn_ready
+        assert conn_ready is not None
+        vs = rtc[us]
+        act = (conn_ready[us, vs] <= t) & (self.queue_bytes[us, vs] > 0)
+        if not act.any():
+            return
+        slot_bytes = params.slot_bytes
+        byte_ps = params.byte_ps
+        batch = net._batch_conns
+        sim = self.sim
+        for u, v in zip(us[act].tolist(), vs[act].tolist()):
+            voqs = net.nics[u].voqs
+            head = voqs._queues[v][0]
+            done: list[DrainedMessage]
+            if head.inject_ps <= t and head.remaining > slot_bytes:
+                if head.remaining == head.size and id(head) not in voqs._starts:
+                    voqs._starts[id(head)] = t
+                head.remaining -= slot_bytes
+                voqs.bytes_pending[v] -= slot_bytes
+                moved = slot_bytes
+                done = []
+            else:
+                moved, done = voqs.drain(v, slot_bytes, t, byte_ps)
+                if moved == 0:
+                    continue  # the head is not yet injected
+            net._slot_transfers += 1
+            net.ledger.send(u, v, moved)
+            if not self._null_predictor:
+                net.predictor.on_use(u, v, t)
+            if (u, v) in batch:
+                net._batch_remaining -= moved
+            for dm in done:
+                record = MessageRecord(
+                    src=u,
+                    dst=v,
+                    size=dm.message.size,
+                    inject_ps=dm.message.inject_ps,
+                    start_ps=dm.start_ps,
+                    done_ps=dm.finish_ps + self._path_ps,
+                    seq=dm.message.seq,
+                )
+                sim.schedule_at(
+                    record.done_ps, net._deliver, record, priority=Priority.NIC
+                )
+                if net.prefetcher is not None:
+                    net.prefetcher.observe(u, v, t)
+                    conn = net.prefetcher.prefetch(u, v, t)
+                    if conn is not None:
+                        self.sched.latched[conn.src, conn.dst] = True
+                if net.injection_window is not None:
+                    net._feed_nic(u)
+            if voqs.bytes_pending[v] == 0:
+                hold = net.predictor.on_empty(u, v, t)
+                sim.schedule(
+                    params.request_wire_ps,
+                    net._request_drop,
+                    u,
+                    v,
+                    hold,
+                    priority=Priority.WIRE,
+                )

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 from ..errors import ConfigurationError
 
@@ -87,17 +88,30 @@ class Histogram:
     counts: list[int] = field(default_factory=list)
     overflow: int = 0
     _stats: OnlineStats = field(default_factory=OnlineStats)
+    _width_exact: Fraction = field(init=False)
 
     def __post_init__(self) -> None:
         if self.bin_width <= 0 or self.n_bins <= 0:
             raise ConfigurationError("histogram needs positive bin width and count")
         if not self.counts:
             self.counts = [0] * self.n_bins
+        self._width_exact = Fraction(str(self.bin_width))
+
+    def _bin_index(self, x: float) -> int:
+        """Exact bin index for a non-negative sample.
+
+        Both the sample and the bin width go through their decimal strings,
+        so boundary samples land in the upper bin (0.3 with width 0.1 is
+        bin 3 — float ``0.3 // 0.1`` would say 2).
+        """
+        if isinstance(x, int) and self._width_exact.denominator == 1:
+            return x // self._width_exact.numerator
+        return int(Fraction(str(x)) / self._width_exact)
 
     def add(self, x: float) -> None:
         if x < 0:
             raise ConfigurationError("histogram samples must be non-negative")
-        idx = int(x // self.bin_width)
+        idx = self._bin_index(x)
         if idx >= self.n_bins:
             self.overflow += 1
         else:
@@ -125,12 +139,19 @@ class Histogram:
             return 0.0
         if q == 0.0:
             return self._stats.minimum
-        target = q * self.count
+        # Exact rational target rank: float ``q * count`` can overshoot an
+        # integer boundary (0.3 * 10 == 3.0000000000000004) and skip a bin.
+        target = Fraction(str(q)) * self.count
         seen = 0
         for i, c in enumerate(self.counts):
             seen += c
             if seen >= target:
                 return (i + 1) * self.bin_width
+        # The target rank lies beyond every bin, so it falls in the overflow
+        # bucket [n_bins * bin_width, maximum]; the observed maximum is that
+        # bucket's exact upper edge.
+        seen += self.overflow
+        assert seen >= target, "quantile target beyond all recorded samples"
         return self._stats.maximum
 
 

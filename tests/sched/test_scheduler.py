@@ -213,3 +213,26 @@ class TestPriorityPolicies:
         seq_b = [b.next_rotation() for _ in range(10)]
         assert seq_a == seq_b
         assert all(0 <= x < 8 and 0 <= y < 8 for x, y in seq_a)
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: FixedPriority(8, 3, 5),
+            lambda: RoundRobinPriority(5),
+            lambda: RandomPriority(8, stream(7, "p")),
+        ],
+        ids=["fixed", "round-robin", "random"],
+    )
+    def test_advance_matches_discarded_rotations(self, make):
+        """advance(k) must leave the policy exactly where k discarded
+        next_rotation() calls would — the fast path's bulk SL passes
+        depend on this for every policy, including the rng stream of
+        RandomPriority."""
+        bulk, loop = make(), make()
+        for k in (0, 1, 3, 11):
+            bulk.advance(k)
+            for _ in range(k):
+                loop.next_rotation()
+            assert [bulk.next_rotation() for _ in range(3)] == [
+                loop.next_rotation() for _ in range(3)
+            ]

@@ -1,0 +1,136 @@
+"""Property tests: the vectorized batch wavefront is bit-identical.
+
+`wavefront_batch` evaluates all pending L-cells with matrix operations
+instead of walking them sequentially; every outcome — toggle set, toggle
+*order*, and blocked count — must match the dense Table-2 oracle and the
+sparse fast path exactly, across rotations, occupancy patterns, and
+fault-degraded (dead-cell) port sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.config import ConfigMatrix
+from repro.sched.presched import compute_l
+from repro.sched.slarray import (
+    wavefront_batch,
+    wavefront_reference,
+    wavefront_sparse,
+)
+
+
+def _outcomes(l, b_s, ao, ai, rotation):
+    rows, cols = np.nonzero(l)
+    dense = wavefront_reference(l, b_s, ao, ai, rotation)
+    sparse = wavefront_sparse(rows, cols, b_s, ao, ai, rotation)
+    # min_nnz=0 forces the vectorized path even for tiny inputs
+    batch = wavefront_batch(rows, cols, b_s, ao, ai, rotation, min_nnz=0)
+    return dense, sparse, batch
+
+
+def _assert_identical(l, b_s, ao, ai, rotation):
+    dense, sparse, batch = _outcomes(l, b_s, ao, ai, rotation)
+    key = [(t.u, t.v, t.establish) for t in dense.toggles]
+    assert [(t.u, t.v, t.establish) for t in sparse.toggles] == key
+    assert [(t.u, t.v, t.establish) for t in batch.toggles] == key
+    assert batch.blocked == dense.blocked == sparse.blocked
+
+
+@st.composite
+def scheduling_case(draw, max_n=12):
+    """Random (cfg, L, rotation, dead ports) over variable port counts."""
+    n = draw(st.integers(2, max_n))
+    perm = draw(st.permutations(list(range(n))))
+    keep = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    cfg = ConfigMatrix(n)
+    for u, (v, k) in enumerate(zip(perm, keep)):
+        if k:
+            cfg.establish(u, v)
+    r = np.array(
+        draw(st.lists(st.lists(st.booleans(), min_size=n, max_size=n),
+                      min_size=n, max_size=n)),
+        dtype=bool,
+    )
+    extra = np.array(
+        draw(st.lists(st.lists(st.booleans(), min_size=n, max_size=n),
+                      min_size=n, max_size=n)),
+        dtype=bool,
+    )
+    b_star = cfg.b | extra
+    rotation = (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+    dead = draw(st.lists(st.integers(0, n - 1), max_size=2, unique=True))
+    return cfg, r, b_star, rotation, dead
+
+
+@settings(max_examples=300, deadline=None)
+@given(scheduling_case())
+def test_batch_equals_reference_and_sparse(case):
+    cfg, r, b_star, rotation, dead = case
+    pres = compute_l(r, cfg.b, b_star)
+    _assert_identical(pres.l, cfg.b, cfg.output_busy(), cfg.input_busy(), rotation)
+
+
+@settings(max_examples=200, deadline=None)
+@given(scheduling_case())
+def test_batch_equals_reference_with_dead_cells(case):
+    """Fault-degraded port sets: dead rows/columns masked out of L."""
+    cfg, r, b_star, rotation, dead = case
+    pres = compute_l(r, cfg.b, b_star)
+    l = pres.l.copy()
+    for p in dead:
+        l[p, :] = False
+        l[:, p] = False
+    _assert_identical(l, cfg.b, cfg.output_busy(), cfg.input_busy(), rotation)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(2, 16), st.integers(0, 15), st.integers(0, 15))
+def test_batch_full_request_matrix(n, a, b):
+    """Dense all-to-all L on an empty slot — the worst-case batch input."""
+    cfg = ConfigMatrix(n)
+    l = np.ones((n, n), dtype=bool)
+    rotation = (a % n, b % n)
+    _assert_identical(l, cfg.b, cfg.output_busy(), cfg.input_busy(), rotation)
+    out = wavefront_batch(*np.nonzero(l), cfg.b, cfg.output_busy(),
+                          cfg.input_busy(), rotation, min_nnz=0)
+    assert len(out.established) == n  # maximal: a full permutation
+
+
+def test_batch_empty_is_empty():
+    cfg = ConfigMatrix(4)
+    rows, cols = np.nonzero(np.zeros((4, 4), dtype=bool))
+    out = wavefront_batch(rows, cols, cfg.b, cfg.output_busy(), cfg.input_busy())
+    assert out.toggles == [] and out.blocked == 0
+
+
+def test_batch_release_chain_order():
+    """Releases free ports for later establishes, in traversal order."""
+    n = 4
+    cfg = ConfigMatrix.from_pairs(n, [(0, 1)])
+    l = np.zeros((n, n), dtype=bool)
+    l[0, 1] = True  # release (0,1)
+    l[2, 1] = True  # may then establish (2,1)
+    _assert_identical(l, cfg.b, cfg.output_busy(), cfg.input_busy(), (0, 0))
+    out = wavefront_batch(*np.nonzero(l), cfg.b, cfg.output_busy(),
+                          cfg.input_busy(), (0, 0), min_nnz=0)
+    assert [(t.u, t.v, t.establish) for t in out.toggles] == [
+        (0, 1, False),
+        (2, 1, True),
+    ]
+
+
+def test_batch_delegates_below_min_nnz():
+    """Tiny inputs take the sparse path; outputs are identical regardless."""
+    n = 8
+    cfg = ConfigMatrix(n)
+    l = np.zeros((n, n), dtype=bool)
+    l[3, 5] = True
+    rows, cols = np.nonzero(l)
+    a = wavefront_batch(rows, cols, cfg.b, cfg.output_busy(), cfg.input_busy())
+    b = wavefront_sparse(rows, cols, cfg.b, cfg.output_busy(), cfg.input_busy())
+    assert [(t.u, t.v, t.establish) for t in a.toggles] == [
+        (t.u, t.v, t.establish) for t in b.toggles
+    ]

@@ -18,7 +18,7 @@ import pytest
 from repro.fabric.config import ConfigMatrix
 from repro.hw.rtl import SLArrayNetlist
 from repro.sched.presched import compute_l
-from repro.sched.slarray import wavefront_reference, wavefront_sparse
+from repro.sched.slarray import wavefront_batch, wavefront_reference, wavefront_sparse
 
 
 def _partial_permutations(n):
@@ -43,11 +43,13 @@ def _agree(cfg, r, b_star, rotation):
     dense = wavefront_reference(pres.l, cfg.b, ao, ai, rotation)
     rows, cols = np.nonzero(pres.l)
     sparse = wavefront_sparse(rows, cols, cfg.b, ao, ai, rotation)
+    batch = wavefront_batch(rows, cols, cfg.b, ao, ai, rotation, min_nnz=0)
     netlist = SLArrayNetlist(cfg.n).evaluate(pres.l, cfg.b, ao, ai, rotation)
     dense_t = dense.toggle_matrix(cfg.n)
-    assert [(t.u, t.v, t.establish) for t in dense.toggles] == [
-        (t.u, t.v, t.establish) for t in sparse.toggles
-    ]
+    dense_key = [(t.u, t.v, t.establish) for t in dense.toggles]
+    assert [(t.u, t.v, t.establish) for t in sparse.toggles] == dense_key
+    assert [(t.u, t.v, t.establish) for t in batch.toggles] == dense_key
+    assert batch.blocked == dense.blocked
     assert np.array_equal(dense_t, netlist)
     # applying the toggles keeps the slot a valid partial permutation
     after = cfg.b ^ dense_t

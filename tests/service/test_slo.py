@@ -36,6 +36,36 @@ class TestPercentile:
         with pytest.raises(ConfigurationError):
             percentile_ps([1], q)
 
+    def test_fractional_q_rank_is_exact(self):
+        # regression: the rank was computed as ceil(len * q / 100) with a
+        # float product — 375 * 8.8 == 3300.0000000000005, so the rank
+        # came out 34 instead of the exact ceil(33) == 33
+        values = list(range(375))
+        assert percentile_ps(values, 8.8) == values[33 - 1]
+
+    def test_fractional_q_rank_is_exact_other_boundary(self):
+        values = list(range(250))
+        # 250 * 64.4 == 16100 exactly -> rank 161
+        assert percentile_ps(values, 64.4) == values[161 - 1]
+
+    def test_p50_boundary_even_and_odd(self):
+        assert percentile_ps([1, 2, 3, 4], 50) == 2  # rank ceil(2) == 2
+        assert percentile_ps([1, 2, 3, 4, 5], 50) == 3  # rank ceil(2.5) == 3
+
+    def test_p99_boundary(self):
+        values = list(range(1, 101))
+        assert percentile_ps(values, 99) == 99  # rank exactly 99
+        assert percentile_ps(list(range(1, 102)), 99) == 100  # ceil(99.99)
+
+    def test_fractional_q_string_semantics(self):
+        # 99.9 means 999/10 exactly, not the nearest binary float
+        values = list(range(1, 1001))
+        assert percentile_ps(values, 99.9) == 999
+
+    def test_nan_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            percentile_ps([1], float("nan"))
+
 
 class TestRecorder:
     def test_window_and_cumulative_split(self):

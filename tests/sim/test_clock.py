@@ -36,6 +36,34 @@ class TestNs:
     def test_roundtrip(self):
         assert ps_to_ns(ns(123)) == 123.0
 
+    def test_large_half_integer_is_exact(self):
+        # regression: the old absolute-1e-9 tolerance check silently
+        # mis-rounded large floats — ns(2**51 + 0.5) returned a value off
+        # by 12 ps (the float product rounds to a multiple of 512)
+        assert ns(2**51 + 0.5) == 2**51 * 1_000 + 500
+
+    def test_large_integer_float_is_exact(self):
+        assert ns(float(2**52)) == 2**52 * 1_000
+
+    def test_inexact_near_integer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ns(1.0000000000000002)
+
+    def test_nan_and_inf_rejected(self):
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ConfigurationError):
+                ns(bad)
+
+    def test_us_does_not_compound_float_multiply(self):
+        # regression: us() used to go through ns(value * 1_000), stacking
+        # two float multiplies; the scale must be applied exactly once
+        assert us(2**51 + 0.5) == (2**51) * 1_000_000 + 500_000
+        assert us(0.5) == 500_000
+
+    def test_us_inexact_rejected(self):
+        with pytest.raises(ConfigurationError):
+            us(0.0000001234567)
+
 
 class TestByteTime:
     def test_paper_rate_is_1250ps(self):

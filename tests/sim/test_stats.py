@@ -134,6 +134,47 @@ class TestHistogram:
         h.add(5.0)
         assert h.mean == pytest.approx(4.0)
 
+    def test_boundary_sample_lands_in_upper_bin(self):
+        # regression: float binning put 0.3 in bin 2 (0.3 // 0.1 == 2.0);
+        # a sample on a bin edge belongs to the bin it opens
+        h = Histogram(bin_width=0.1, n_bins=4)
+        h.add(0.3)
+        assert h.counts == [0, 0, 0, 1]
+
+    def test_integer_boundary_sample_exact(self):
+        h = Histogram(bin_width=100_000.0, n_bins=4)
+        h.add(300_000)  # integer ps sample on the bin edge
+        assert h.counts == [0, 0, 0, 1]
+
+    @given(st.integers(0, 10**12), st.integers(1, 10**6))
+    def test_integer_binning_matches_integer_division(self, x, w):
+        h = Histogram(bin_width=float(w), n_bins=8)
+        h.add(x)
+        idx = x // w
+        if idx >= 8:
+            assert h.overflow == 1
+        else:
+            assert h.counts[idx] == 1
+
+    def test_quantile_boundary_rank_not_skipped_into_overflow(self):
+        # regression: the float target (0.7 * 10 == 7.0000000000000004)
+        # overshot the exact rank, so a quantile that lands exactly on the
+        # last binned sample silently reported the overflow maximum
+        h = Histogram(bin_width=1.0, n_bins=10)
+        for x in range(7):
+            h.add(x + 0.5)  # bins 0..6
+        for _ in range(3):
+            h.add(1_000.0)  # overflow
+        assert h.quantile(0.7) == 7.0  # upper edge of bin 6, not 1000.0
+
+    def test_quantile_in_overflow_reports_observed_maximum(self):
+        h = Histogram(bin_width=1.0, n_bins=4)
+        h.add(0.5)
+        h.add(99.0)
+        h.add(100.0)
+        assert h.quantile(1.0) == 100.0
+        assert h.quantile(0.9) == 100.0
+
 
 class TestCounter:
     def test_inc_and_get(self):
