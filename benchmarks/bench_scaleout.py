@@ -1,0 +1,82 @@
+"""Benchmark of the multi-switch scale-out sweep (mesh-tdm / fattree-tdm).
+
+The sweep's CSV intentionally contains no wall-clock numbers — wall
+clock is measured *here*, once, and archived next to the deterministic
+series: per-cell runtime, event-kernel throughput (events/s), and the
+scheduler-latency figures the topology layer is accountable for.
+
+Set ``REPRO_BENCH_ENDPOINTS`` (e.g. ``=64``) to shrink the grid for
+quick iteration; the default exercises the paper-scale 256-endpoint
+fabrics on both topologies, healthy and faulted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import archive
+
+from repro.experiments.common import DEFAULT_SEED
+from repro.experiments.scaleout import (
+    SCALEOUT_SCHEMES,
+    ScaleoutCell,
+    run_scaleout_cell,
+)
+from repro.params import PAPER_PARAMS
+
+
+def _bench_endpoints() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_ENDPOINTS", "256")
+    return tuple(int(x) for x in raw.split(","))
+
+
+def _cell(scheme: str, n: int, faulted: bool) -> ScaleoutCell:
+    return ScaleoutCell(
+        scheme=scheme,
+        n_endpoints=n,
+        messages_per_endpoint=4,
+        size_bytes=256,
+        params=PAPER_PARAMS,
+        k=4,
+        faulted=faulted,
+        seed=DEFAULT_SEED,
+    )
+
+
+def test_scaleout_throughput(benchmark):
+    """Wall-clock + events/s for every (scheme, endpoints, faulted) cell."""
+    endpoints = _bench_endpoints()
+
+    # warm the import/JIT-free paths once on the smallest cell
+    run_scaleout_cell(_cell(SCALEOUT_SCHEMES[0], endpoints[0], False))
+
+    lines = [
+        "=== scale-out sweep throughput (multi-hop TDM) ===",
+        f"{'scheme':>12} {'n':>5} {'flt':>3} {'est_mean_ns':>11} "
+        f"{'slot_util':>9} {'events':>8} {'wall_s':>7} {'events/s':>9}",
+    ]
+    slowest: ScaleoutCell | None = None
+    slowest_s = -1.0
+    for scheme in SCALEOUT_SCHEMES:
+        for n in endpoints:
+            for faulted in (False, True):
+                cell = _cell(scheme, n, faulted)
+                t0 = time.monotonic()
+                point = run_scaleout_cell(cell)
+                wall_s = time.monotonic() - t0
+                eps = point.events / wall_s if wall_s > 0 else 0.0
+                lines.append(
+                    f"{point.scheme:>12} {point.n_endpoints:>5} "
+                    f"{int(point.faulted):>3} {point.est_mean_ps / 1000:>11.1f} "
+                    f"{point.slot_utilization:>9.4f} {point.events:>8} "
+                    f"{wall_s:>7.2f} {eps:>9.0f}"
+                )
+                if wall_s > slowest_s:
+                    slowest, slowest_s = cell, wall_s
+                assert point.dropped == 0 or point.faulted
+    archive("scaleout", "\n".join(lines))
+
+    # the benchmark number itself: the heaviest cell of the grid
+    assert slowest is not None
+    benchmark.pedantic(run_scaleout_cell, args=(slowest,), rounds=3, iterations=1)

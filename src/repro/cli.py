@@ -39,6 +39,11 @@ from .experiments.figure4 import MESSAGE_SIZES, run_figure4
 from .experiments.figure5 import DETERMINISM_SWEEP, run_figure5
 from .experiments.loadlatency import LOADS, run_load_latency
 from .experiments.reporting import run_all
+from .experiments.scaleout import (
+    SCALEOUT_ENDPOINTS,
+    SCALEOUT_SCHEMES,
+    run_scaleout,
+)
 from .experiments.table3 import format_table3
 from .metrics.report import format_table
 from .networks.multihop import MultiHopModel
@@ -99,6 +104,8 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
             feats.append("injection-window")
         if caps.preload:
             feats.append("preload")
+        if caps.multi_switch:
+            feats.append("multi-switch")
         rows.append(
             [
                 name,
@@ -258,6 +265,37 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             for path in bad:
                 print(f"corrupt: {path}")
             return 1
+    return 0
+
+
+def _cmd_scaleout(args: argparse.Namespace) -> int:
+    schemes = (
+        tuple(_csv_list(args.schemes)) if args.schemes else SCALEOUT_SCHEMES
+    )
+    endpoints = (
+        tuple(int(n) for n in _csv_list(args.endpoints))
+        if args.endpoints
+        else SCALEOUT_ENDPOINTS
+    )
+    result = run_scaleout(
+        params=PAPER_PARAMS,  # n_ports comes from the endpoint counts
+        schemes=schemes,
+        endpoints=endpoints,
+        messages_per_endpoint=args.messages,
+        size_bytes=args.bytes,
+        seed=args.seed,
+        faults=not args.no_faults,
+        **_exec_opts(args),
+    )
+    _emit_exec_stats(args, result.exec_stats)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(result.csv())
+        print(f"wrote {len(result.points)} rows to {args.out}")
+    if args.csv:
+        print(result.csv(), end="")
+    elif not args.out:
+        print(result.format())
     return 0
 
 
@@ -610,6 +648,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="virtual microseconds simulated per wall-clock second",
     )
     sv.set_defaults(fn=_cmd_serve)
+
+    so = sub.add_parser(
+        "scaleout",
+        parents=[exec_flags],
+        help="multi-switch TDM sweep: 256-1024 endpoints over mesh/fat-tree",
+    )
+    so.add_argument(
+        "--schemes",
+        help=f"comma-separated composite schemes (default {','.join(SCALEOUT_SCHEMES)})",
+    )
+    so.add_argument(
+        "--endpoints",
+        help="comma-separated endpoint counts "
+        f"(default {','.join(str(n) for n in SCALEOUT_ENDPOINTS)})",
+    )
+    so.add_argument(
+        "--messages", type=int, default=4, help="messages per endpoint (default 4)"
+    )
+    so.add_argument("--bytes", type=int, default=256, help="message size (default 256)")
+    so.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the seeded per-hop trunk-fault campaign cells",
+    )
+    so.add_argument("--out", help="write the CSV to this path")
+    so.add_argument("--csv", action="store_true", help="CSV output")
+    so.set_defaults(fn=_cmd_scaleout)
 
     mh = sub.add_parser("multihop", help="multi-hop TDM vs wormhole model (A7)")
     mh.add_argument("--bytes", type=int, default=512, help="message size")

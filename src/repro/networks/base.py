@@ -38,6 +38,7 @@ from ..params import SystemParams
 from ..sim.engine import Priority, Simulator
 from ..sim.stats import OnlineStats
 from ..sim.trace import NULL_TRACER, Tracer
+from ..topo import Topology
 from ..traffic.base import TrafficPhase
 from ..types import DropRecord, Message, MessageRecord
 from .lifecycle import ConnectionManager
@@ -133,8 +134,20 @@ class BaseNetwork(ABC):
         faults: FaultInjector | None = None,
         strict: bool | None = None,
         max_wall_s: float | None = None,
+        topology: Topology | None = None,
     ) -> None:
         self.params = params
+        #: the fabric shape; defaults to the paper's single crossbar, where
+        #: endpoint i is local port i of the one switch
+        self.topology = (
+            topology if topology is not None else Topology.single_switch(params.n_ports)
+        )
+        if self.topology.n_endpoints != params.n_ports:
+            raise SimulationError(
+                f"topology {self.topology.name!r} attaches "
+                f"{self.topology.n_endpoints} endpoints but params define "
+                f"{params.n_ports} ports"
+            )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.fault_injector = faults
         if strict is None:
@@ -429,6 +442,18 @@ class BaseNetwork(ABC):
 
     def _on_link_dead(self, port: int) -> None:
         """React to a permanent port death (override per scheme)."""
+
+    # trunk (inter-switch) link state changes; only multi-switch schemes
+    # have trunks, so the defaults are no-ops
+
+    def _on_trunk_down(self, link: int) -> None:
+        """React to a trunk link's transient outage starting."""
+
+    def _on_trunk_up(self, link: int) -> None:
+        """React to a trunk link's transient outage ending."""
+
+    def _on_trunk_dead(self, link: int) -> None:
+        """React to a trunk link dying permanently."""
 
     def _fault_phase_reset(self) -> None:
         """Cancel per-phase recovery state at the phase barrier."""

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from ..errors import ConfigurationError
 from ..faults.injector import FaultInjector
 from ..params import SystemParams
 from ..sched.priority import RotationPolicy, RoundRobinPriority
@@ -32,6 +33,7 @@ from ..sched.scheduler import Scheduler
 from ..sched.slarray import wavefront_batch
 from ..sim.engine import Priority
 from ..sim.trace import Tracer
+from ..topo import Topology
 from ..traffic.base import TrafficPhase
 from ..types import Message, MessageRecord
 from .base import BaseNetwork
@@ -58,10 +60,22 @@ class CircuitNetwork(BaseNetwork):
         fast: bool | None = None,
         strict: bool | None = None,
         max_wall_s: float | None = None,
+        topology: Topology | None = None,
     ) -> None:
         super().__init__(
-            params, tracer, faults=faults, strict=strict, max_wall_s=max_wall_s
+            params,
+            tracer,
+            faults=faults,
+            strict=strict,
+            max_wall_s=max_wall_s,
+            topology=topology,
         )
+        if not self.topology.is_single_switch:
+            raise ConfigurationError(
+                f"CircuitNetwork models one crossbar; topology "
+                f"{self.topology.name!r} has {self.topology.n_switches} "
+                f"switches (use the mesh-tdm / fattree-tdm schemes)"
+            )
         #: accepted for RunSpec symmetry with the TDM schemes and ignored:
         #: circuit switching has no periodic slot clock, so there is no
         #: slot-synchronous fast path to select (repro.sim.fastpath)
@@ -249,7 +263,9 @@ class CircuitNetwork(BaseNetwork):
         self._state[u] = _SENDING
         t = self.sim.now
         tail_ps = t + params.message_bytes_ps(msg.size)
-        done_ps = tail_ps + params.pipe_latency_ps
+        # fill time of the established pipe; == params.pipe_latency_ps for
+        # the single crossbar this scheme models
+        done_ps = tail_ps + self.topology.path_latency_ps(params, 1)
         self.ledger.send(u, msg.dst, msg.size)
         record = MessageRecord(
             src=u,

@@ -128,12 +128,28 @@ class ConnectionManager:
         self.link_down: np.ndarray = np.zeros(n, dtype=bool)
         #: per-port permanent-failure state (dead implies down)
         self.link_dead: np.ndarray = np.zeros(n, dtype=bool)
+        # test fakes may not model a fabric shape; no topology = no trunks
+        topo = getattr(net, "topology", None)
+        n_trunks = 0 if topo is None else topo.n_links
+        #: per-trunk-link transient-outage state (multi-switch fabrics)
+        self.trunk_down: np.ndarray = np.zeros(n_trunks, dtype=bool)
+        #: per-trunk-link permanent-failure state (dead implies down)
+        self.trunk_dead: np.ndarray = np.zeros(n_trunks, dtype=bool)
         self.scheduler: Scheduler | None = None
         self._client: LifecycleClient | None = None
         self._watches: dict[Hashable, _Watch] = {}
 
-    def attach_scheduler(self, scheduler: Scheduler, client: LifecycleClient) -> None:
-        """Register the scheme's scheduler and its lifecycle policy."""
+    def attach_scheduler(
+        self, scheduler: Scheduler | None, client: LifecycleClient
+    ) -> None:
+        """Register the scheme's lifecycle policy (and single scheduler).
+
+        Multi-switch schemes own one scheduler *per switch* and pass
+        ``None`` here: they get the watchdog ladder and link-state
+        machinery, while the single-scheduler fault-hook halves
+        (:meth:`slot_stuck` … :meth:`sl_dead`) stay unreachable — their
+        network-level hooks decline those faults instead.
+        """
         self.scheduler = scheduler
         self._client = client
 
@@ -183,6 +199,43 @@ class ConnectionManager:
         if net.fault_injector is not None:
             net.fault_injector.cancel_awaiting_port(port)
         net._on_link_dead(port)
+        return True
+
+    # -- per-trunk-link transitions (multi-switch fabrics) ----------------------------
+
+    @property
+    def trunk_healthy(self) -> np.ndarray:
+        """Per-trunk-link usability mask (True while the link carries data)."""
+        return ~self.trunk_down
+
+    def trunk_link_down(self, link: int, duration_ps: int) -> bool:
+        """A transient outage takes inter-switch trunk ``link`` down."""
+        if self.trunk_down[link]:
+            return False  # already down (dead, or overlapping transient)
+        net = self._net
+        self.trunk_down[link] = True
+        net.tracer.record(net.sim.now, "fault-trunk-down", link=link)
+        net._on_trunk_down(link)
+        return True
+
+    def trunk_link_up(self, link: int) -> None:
+        """A trunk's transient outage ends (never fires for dead links)."""
+        if self.trunk_dead[link]:
+            return
+        net = self._net
+        self.trunk_down[link] = False
+        net.tracer.record(net.sim.now, "fault-trunk-up", link=link)
+        net._on_trunk_up(link)
+
+    def trunk_link_dead(self, link: int) -> bool:
+        """A permanent failure kills inter-switch trunk ``link``."""
+        if self.trunk_dead[link]:
+            return False
+        net = self._net
+        self.trunk_dead[link] = True
+        self.trunk_down[link] = True
+        net.tracer.record(net.sim.now, "fault-trunk-dead", link=link)
+        net._on_trunk_dead(link)
         return True
 
     # -- scheduler-plane fault hooks (scheme-independent halves) ----------------------

@@ -31,9 +31,11 @@ from ..faults.injector import FaultInjector
 from ..params import SystemParams
 from ..sim.trace import Tracer
 from ..traffic.base import TrafficPhase
+from ..topo import Topology, fat_tree, full_mesh
 from .base import BaseNetwork, RunResult
 from .circuit import CircuitNetwork
 from .ideal import IdealNetwork
+from .multiswitch import MultiSwitchTdmNetwork
 from .tdm import TdmNetwork
 from .wormhole import WormholeNetwork
 
@@ -75,6 +77,8 @@ class SchemeCapabilities:
     injection_window: bool = False
     #: can pin compiled (preloaded) configurations
     preload: bool = False
+    #: spans multiple switches (a repro.topo switch graph, multi-hop circuits)
+    multi_switch: bool = False
 
 
 @dataclass(slots=True, frozen=True)
@@ -231,6 +235,57 @@ def _tdm_factory(mode: str) -> SchemeFactory:
     return make
 
 
+def _multiswitch_factory(
+    label: str, build_topology: Callable[[RunSpec], Topology]
+) -> SchemeFactory:
+    """Composite schemes: a switch-graph topology + multi-hop TDM circuits.
+
+    Topology knobs travel in ``spec.options`` as plain ints (so specs stay
+    hashable/serialisable for the experiment cache); whatever remains in
+    ``options`` goes to :class:`MultiSwitchTdmNetwork` unchanged
+    (``trunk_faults=``, ...).
+    """
+
+    def make(spec: RunSpec) -> BaseNetwork:
+        options = dict(spec.options)
+        topology = build_topology(spec)
+        return MultiSwitchTdmNetwork(
+            spec.params,
+            topology=topology,
+            k=spec.k,
+            tracer=spec.tracer,
+            scheme_label=label,
+            faults=spec.faults,
+            fast=spec.fast,
+            strict=spec.strict,
+            max_wall_s=spec.max_wall_s,
+            **{k: v for k, v in options.items() if k not in _TOPO_OPTION_KEYS},
+        )
+
+    return make
+
+
+#: topology-construction knobs consumed by the composite factories; the
+#: rest of ``options`` passes through to MultiSwitchTdmNetwork
+_TOPO_OPTION_KEYS = frozenset({"n_switches", "links_per_pair", "leaf_size", "taper"})
+
+
+def _mesh_topology(spec: RunSpec) -> Topology:
+    return full_mesh(
+        spec.params.n_ports,
+        n_switches=int(spec.options.get("n_switches", 16)),
+        links_per_pair=int(spec.options.get("links_per_pair", 4)),
+    )
+
+
+def _fattree_topology(spec: RunSpec) -> Topology:
+    return fat_tree(
+        spec.params.n_ports,
+        leaf_size=int(spec.options.get("leaf_size", 16)),
+        taper=int(spec.options.get("taper", 1)),
+    )
+
+
 register_scheme(
     "wormhole",
     _make_wormhole,
@@ -291,5 +346,29 @@ register_scheme(
     _make_ideal,
     capabilities=SchemeCapabilities(
         description="contention-free bottleneck bound (efficiency denominator)",
+    ),
+)
+register_scheme(
+    "mesh-tdm",
+    _multiswitch_factory("mesh-tdm", _mesh_topology),
+    aliases=("fm16-tdm",),
+    capabilities=SchemeCapabilities(
+        description="16-switch full mesh, multi-hop TDM circuits (FM16 scale-out)",
+        tdm_modes=("dynamic",),
+        fault_recovery=True,
+        request_plane=True,
+        multi_switch=True,
+    ),
+)
+register_scheme(
+    "fattree-tdm",
+    _multiswitch_factory("fattree-tdm", _fattree_topology),
+    aliases=("fat-tree-tdm",),
+    capabilities=SchemeCapabilities(
+        description="2-tier fat tree (leaves+spines), multi-hop TDM circuits",
+        tdm_modes=("dynamic",),
+        fault_recovery=True,
+        request_plane=True,
+        multi_switch=True,
     ),
 )

@@ -53,6 +53,7 @@ from ..sched.scheduler import Scheduler
 from ..sim.engine import Priority
 from ..sim.fastpath import FastPath, fast_from_env, fastpath_ineligible
 from ..sim.trace import Tracer
+from ..topo import Topology
 from ..traffic.base import TrafficPhase
 from ..types import Connection, Message, MessageRecord
 from .base import BaseNetwork
@@ -86,10 +87,22 @@ class TdmNetwork(BaseNetwork):
         fast: bool | None = None,
         strict: bool | None = None,
         max_wall_s: float | None = None,
+        topology: Topology | None = None,
     ) -> None:
         super().__init__(
-            params, tracer, faults=faults, strict=strict, max_wall_s=max_wall_s
+            params,
+            tracer,
+            faults=faults,
+            strict=strict,
+            max_wall_s=max_wall_s,
+            topology=topology,
         )
+        if not self.topology.is_single_switch:
+            raise ConfigurationError(
+                f"TdmNetwork models one crossbar; topology "
+                f"{self.topology.name!r} has {self.topology.n_switches} "
+                f"switches (use the mesh-tdm / fattree-tdm schemes)"
+            )
         if mode not in _MODES:
             raise ConfigurationError(f"mode must be one of {_MODES}, got {mode!r}")
         if k < 1:

@@ -1,0 +1,6 @@
+"""Switch-graph topology layer: graphs, port maps, deterministic routing."""
+
+from .builders import fat_tree, full_mesh, line
+from .graph import Topology, TrunkLink
+
+__all__ = ["Topology", "TrunkLink", "fat_tree", "full_mesh", "line"]

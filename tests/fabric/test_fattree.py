@@ -120,6 +120,68 @@ class TestDegreesAndPartition:
         assert len(ft.partition(cfg)) == 1
 
 
+class TestEdgeLoads:
+    """Per-edge load accounting under taper > 1 (the thinned upper levels)."""
+
+    def test_loads_count_both_directions(self):
+        ft = FatTree(8, taper=2)
+        loads = ft.edge_loads([(0, 4), (1, 5)])
+        # both connections climb out of the {0,1} subtree and descend into
+        # the sibling pair {4,5}: every edge on the route carries both
+        assert loads == {
+            (1, 0, "up"): 2,
+            (2, 0, "up"): 2,
+            (2, 1, "down"): 2,
+            (1, 2, "down"): 2,
+        }
+
+    def test_sibling_traffic_loads_nothing(self):
+        ft = FatTree(8, taper=4)
+        assert ft.edge_loads([(0, 1), (6, 7)]) == {}
+
+    def test_taper_shrinks_capacity_not_load(self):
+        """Taper scales capacity only: the same connection set loads the
+        same edges, but realisability flips as capacity thins."""
+        conns = [(0, 4), (1, 5), (2, 6), (3, 7)]
+        full = FatTree(8, taper=1)
+        thin = FatTree(8, taper=4)
+        assert full.edge_loads(conns) == thin.edge_loads(conns)
+        cfg = ConfigMatrix.from_pairs(8, conns)
+        assert full.is_realizable(cfg)
+        assert not thin.is_realizable(cfg)
+
+    def test_overload_names_the_thinned_edge(self):
+        ft = FatTree(8, taper=4)  # level-1 edges have capacity 1
+        cfg = ConfigMatrix.from_pairs(8, [(0, 4), (1, 5)])
+        assert (1, 0, "up") in ft.overloaded_edges(cfg)
+
+
+class TestRequiredDegreeBound:
+    """The multiplexing-degree lower bound (TDM passes a set needs)."""
+
+    def test_bound_is_load_over_capacity(self):
+        ft = FatTree(8, taper=4)
+        # 4 connections up through a capacity-1 level-1 edge -> 2 passes
+        # is impossible; ceil(2/1) = 2 for the {0,1} subtree pair
+        assert ft.required_degree([(0, 4), (1, 5)]) == 2
+
+    def test_bound_monotone_in_taper(self):
+        conns = list(
+            ConfigMatrix.from_permutation([7, 6, 5, 4, 3, 2, 1, 0]).connections()
+        )
+        degrees = [FatTree(8, taper=t).required_degree(conns) for t in (1, 2, 4, 8)]
+        assert degrees == sorted(degrees)
+        assert degrees[0] == 1  # full bisection realises any permutation
+
+    def test_bound_never_exceeds_partition(self):
+        rng = np.random.default_rng(7)
+        for taper in (2, 4, 8):
+            ft = FatTree(16, taper=taper)
+            perm = [int(x) for x in rng.permutation(16)]
+            cfg = ConfigMatrix.from_permutation(perm)
+            assert ft.required_degree(cfg.connections()) <= len(ft.partition(cfg))
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.permutations(list(range(16))), st.integers(1, 8))
 def test_property_partition_sound(perm, taper):

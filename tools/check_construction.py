@@ -1,14 +1,19 @@
 #!/usr/bin/env python
 """Lint: architectural boundaries the type checker cannot see.
 
-Two rules, both enforced by walking the AST of every Python file under
+Three rules, all enforced by walking the AST of every Python file under
 the given roots:
 
 * **registry boundary** — concrete scheme classes (``TdmNetwork``,
-  ``CircuitNetwork``, ``WormholeNetwork``) may only be constructed inside
-  ``src/repro/networks/`` (the registry's factories) and ``tests/``;
-  everything else resolves through
+  ``CircuitNetwork``, ``WormholeNetwork``, ``MultiSwitchTdmNetwork``)
+  may only be constructed inside ``src/repro/networks/`` (the registry's
+  factories) and ``tests/``; everything else resolves through
   ``repro.networks.registry.build_network``.
+* **topology boundary** — the switch-graph builders (``full_mesh``,
+  ``fat_tree``, ``line``) may only be called inside ``src/repro/topo/``,
+  ``src/repro/networks/`` and ``tests/``.  Sweeps pick a composite
+  scheme (``mesh-tdm``/``fattree-tdm``) and pass topology knobs through
+  ``RunSpec.options``, keeping experiment cells plain cacheable data.
 * **executor boundary** — ``multiprocessing`` and
   ``ProcessPoolExecutor`` may only appear inside ``src/repro/exec/`` and
   ``tests/``.  All fan-out goes through ``repro.exec.map_cells``, whose
@@ -26,7 +31,14 @@ import ast
 import sys
 from pathlib import Path
 
-SCHEME_CLASSES = frozenset({"TdmNetwork", "CircuitNetwork", "WormholeNetwork"})
+SCHEME_CLASSES = frozenset(
+    {"TdmNetwork", "CircuitNetwork", "WormholeNetwork", "MultiSwitchTdmNetwork"}
+)
+
+#: switch-graph constructors only the topo layer, the registry's composite
+#: factories, and tests may call directly; sweeps and examples pick a
+#: topology by scheme name + options so cells stay plain cacheable data
+TOPO_BUILDERS = frozenset({"full_mesh", "fat_tree", "line"})
 
 #: process-pool machinery only repro.exec may touch
 POOL_MODULES = frozenset({"multiprocessing"})
@@ -41,6 +53,13 @@ SCHEME_EXEMPT_PARTS = (
 #: directories whose files may use process pools directly
 POOL_EXEMPT_PARTS = (
     ("src", "repro", "exec"),
+    ("tests",),
+)
+
+#: directories whose files may build switch-graph topologies directly
+TOPO_EXEMPT_PARTS = (
+    ("src", "repro", "topo"),
+    ("src", "repro", "networks"),
     ("tests",),
 )
 
@@ -83,6 +102,19 @@ def find_violations(path: Path) -> list[tuple[int, str]]:
         for node in ast.walk(tree)
         if isinstance(node, ast.Call)
         and (name := _called_name(node)) in SCHEME_CLASSES
+    ]
+
+
+def find_topo_violations(path: Path) -> list[tuple[int, str]]:
+    """Direct topology-builder calls in one file, as (line, name) pairs."""
+    tree = _parse(path)
+    if isinstance(tree, list):
+        return tree
+    return [
+        (node.lineno, name)
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and (name := _called_name(node)) in TOPO_BUILDERS
     ]
 
 
@@ -130,6 +162,13 @@ def main(argv: list[str]) -> int:
             find_pool_violations,
             lambda what: f"{what} — all process fan-out goes through "
             "repro.exec.map_cells",
+        ),
+        (
+            TOPO_EXEMPT_PARTS,
+            find_topo_violations,
+            lambda what: f"direct {what}(...) topology construction — pick "
+            "a composite scheme (mesh-tdm/fattree-tdm) and pass topology "
+            "knobs through RunSpec.options",
         ),
     )
     violations: list[str] = []
