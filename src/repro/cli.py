@@ -6,6 +6,7 @@ Regenerates any paper artifact from the shell::
     python -m repro figure4 --patterns scatter --sizes 8,64,512
     python -m repro --jobs 8 figure4
     python -m repro figure5 --ports 64
+    python -m repro compare --ports 64 --out benchmarks/results/compare_bakeoff.md
     python -m repro ablations --only a1,a4
     python -m repro faults --rates 0,1,4 --schemes dynamic-tdm,preload
     python -m repro multihop --bytes 512 --hops 1,2,4,8
@@ -34,6 +35,7 @@ from typing import Sequence
 
 from .experiments.ablations import ABLATIONS, run_ablations
 from .experiments.common import DEFAULT_SEED
+from .experiments.compare import COMPARE_SCHEMES, COMPARE_SIZES, run_compare
 from .experiments.faults import FAULT_RATES, run_faults
 from .experiments.figure4 import MESSAGE_SIZES, run_figure4
 from .experiments.figure5 import DETERMINISM_SWEEP, run_figure5
@@ -142,6 +144,34 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
             print(f"# {pattern}")
             print(result.csv(pattern))
     else:
+        print(result.format())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    sizes = (
+        tuple(int(s) for s in _csv_list(args.sizes)) if args.sizes else COMPARE_SIZES
+    )
+    patterns = tuple(_csv_list(args.patterns)) if args.patterns else None
+    schemes = tuple(_csv_list(args.schemes)) if args.schemes else None
+    result = run_compare(
+        params=_params(args),
+        sizes=sizes,
+        patterns=patterns,
+        schemes=schemes,
+        k=args.k,
+        seed=args.seed,
+        **_exec_opts(args),
+    )
+    _emit_exec_stats(args, result.exec_stats)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(result.markdown(), encoding="utf-8")
+        print(f"wrote bake-off report ({len(result.points)} cells) to {args.out}")
+    if args.csv:
+        print(result.csv(), end="")
+    elif not args.out:
         print(result.format())
     return 0
 
@@ -516,6 +546,26 @@ def build_parser() -> argparse.ArgumentParser:
     f4.add_argument("--schemes", help="wormhole,circuit,dynamic-tdm,preload")
     f4.add_argument("--csv", action="store_true", help="CSV output")
     f4.set_defaults(fn=_cmd_figure4)
+
+    cp = sub.add_parser(
+        "compare",
+        help="scheduler bake-off: every discipline x pattern x size, ranked",
+        parents=[exec_flags],
+    )
+    cp.add_argument(
+        "--sizes",
+        help="comma-separated byte sizes "
+        f"(default {','.join(str(s) for s in COMPARE_SIZES)})",
+    )
+    cp.add_argument("--patterns", help="scatter,random-mesh,ordered-mesh,two-phase")
+    cp.add_argument(
+        "--schemes",
+        help=f"comma-separated disciplines (default {','.join(COMPARE_SCHEMES)})",
+    )
+    cp.add_argument("--k", type=int, default=4, help="multiplexing degree (default 4)")
+    cp.add_argument("--out", help="write the ranked markdown report to this path")
+    cp.add_argument("--csv", action="store_true", help="CSV output (one row per cell)")
+    cp.set_defaults(fn=_cmd_compare)
 
     f5 = sub.add_parser(
         "figure5",

@@ -16,18 +16,35 @@ theorem the chromatic index of a bipartite graph equals its maximum degree
 algorithm, which colours any bipartite graph with exactly Δ colours in
 O(E · V) time; :func:`decompose` wraps it to return
 :class:`~repro.fabric.config.ConfigMatrix` objects ready for preloading.
+
+``decompose(..., coloring="packed", demand=...)`` selects the opt-in
+weighted decomposition (Minaeva-style slot packing): each connection is
+replicated in proportion to its demand and the resulting bipartite
+*multigraph* is Kempe-coloured, so a skewed working set gets a frame whose
+slot shares match its byte shares instead of one uniform slot per edge.
+The frame length is the weighted degree — the hottest port's total share —
+which for skewed demand is far below the ``Δ × heaviest-edge`` slot-visits
+a repeated uniform frame pays.
 """
 
 from __future__ import annotations
 
-from collections.abc import Collection, Iterable
+import math
+from collections.abc import Collection, Iterable, Mapping
 
 import numpy as np
 
 from ..errors import ConfigurationError, InvariantError
 from ..fabric.config import ConfigMatrix
 
-__all__ = ["connection_degree", "edge_color", "decompose", "verify_coloring"]
+__all__ = [
+    "connection_degree",
+    "weighted_degree",
+    "edge_color",
+    "decompose",
+    "packed_decompose",
+    "verify_coloring",
+]
 
 
 def connection_degree(conns: Collection[tuple[int, int]], n: int) -> int:
@@ -42,31 +59,39 @@ def connection_degree(conns: Collection[tuple[int, int]], n: int) -> int:
     return int(max(out_deg.max(), in_deg.max()))
 
 
-def edge_color(
-    conns: Iterable[tuple[int, int]], n: int
-) -> dict[tuple[int, int], int]:
-    """Proper edge colouring of the bipartite connection graph.
+def weighted_degree(weights: Mapping[tuple[int, int], int], n: int) -> int:
+    """Maximum port *weight* of a weighted connection set.
 
-    Returns a colour index in ``[0, Δ)`` for each connection such that no
-    two connections sharing an input or an output port receive the same
-    colour.  Duplicate connections are rejected (a connection set is a set).
+    The multigraph analogue of :func:`connection_degree`: replicating each
+    edge ``weights[e]`` times, the hottest port's replica count — by König
+    this is exactly the packed frame length.
     """
-    edges = list(conns)
-    if len(set(edges)) != len(edges):
-        raise ConfigurationError("duplicate connections in the set")
-    for u, v in edges:
-        if not (0 <= u < n and 0 <= v < n):
-            raise ConfigurationError(f"connection ({u},{v}) out of range")
-    delta = connection_degree(edges, n)
-    if delta == 0:
-        return {}
-    # free_in[u, c] == colour c unused at input u (and symmetrically).
+    out_deg = np.zeros(n, dtype=np.int64)
+    in_deg = np.zeros(n, dtype=np.int64)
+    for (u, v), w in weights.items():
+        out_deg[u] += w
+        in_deg[v] += w
+    if not weights:
+        return 0
+    return int(max(out_deg.max(), in_deg.max()))
+
+
+def _kempe_assign(
+    instances: Iterable[tuple[int, int]], n: int, delta: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Colour edge instances of a bipartite multigraph with ``delta`` colours.
+
+    The classical alternating-path (Kempe chain) algorithm.  ``instances``
+    may repeat an (input, output) pair — parallel edges simply land in
+    distinct colours, which is all a weighted decomposition needs.  Returns
+    the partner arrays: ``in_match[u, c]`` is the output connected to input
+    ``u`` in colour ``c`` (else -1), and symmetrically ``out_match``.
+    """
     # partner arrays let us walk Kempe chains in O(1) per step:
-    #   in_match[u, c]  = output v with edge (u,v) coloured c, else -1
-    #   out_match[v, c] = input u with edge (u,v) coloured c, else -1
+    #   in_match[u, c]  = output v with an edge (u,v) coloured c, else -1
+    #   out_match[v, c] = input u with an edge (u,v) coloured c, else -1
     in_match = np.full((n, delta), -1, dtype=np.int64)
     out_match = np.full((n, delta), -1, dtype=np.int64)
-    color: dict[tuple[int, int], int] = {}
 
     def first_free(match_row: np.ndarray) -> int:
         free = np.nonzero(match_row < 0)[0]
@@ -74,12 +99,10 @@ def edge_color(
             raise InvariantError("no free colour at a port with degree < Δ")
         return int(free[0])
 
-    for u, v in edges:
+    for u, v in instances:
         cu = first_free(in_match[u])
         cv = first_free(out_match[v])
-        if cu == cv:
-            c = cu
-        else:
+        if cu != cv:
             # Flip the Kempe chain alternating cu/cv starting from output v:
             # v --cu--> u1 --cv--> v1 --cu--> u2 ...  The path can reach
             # neither u (cu is free there) nor v again (cv is free there),
@@ -102,29 +125,138 @@ def edge_color(
                 out_match[ov, old] = -1
             for iu, ov, old in chain:
                 new = cv if old == cu else cu
-                color[(iu, ov)] = new
                 in_match[iu, new] = ov
                 out_match[ov, new] = iu
-            c = cu
-        color[(u, v)] = c
-        in_match[u, c] = v
-        out_match[v, c] = u
+        in_match[u, cu] = v
+        out_match[v, cu] = u
+    return in_match, out_match
+
+
+def edge_color(
+    conns: Iterable[tuple[int, int]], n: int
+) -> dict[tuple[int, int], int]:
+    """Proper edge colouring of the bipartite connection graph.
+
+    Returns a colour index in ``[0, Δ)`` for each connection such that no
+    two connections sharing an input or an output port receive the same
+    colour.  Duplicate connections are rejected (a connection set is a set).
+    """
+    edges = list(conns)
+    if len(set(edges)) != len(edges):
+        raise ConfigurationError("duplicate connections in the set")
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise ConfigurationError(f"connection ({u},{v}) out of range")
+    delta = connection_degree(edges, n)
+    if delta == 0:
+        return {}
+    in_match, _ = _kempe_assign(edges, n, delta)
+    color: dict[tuple[int, int], int] = {}
+    for u in range(n):
+        for c in range(delta):
+            v = int(in_match[u, c])
+            if v >= 0:
+                color[(u, v)] = c
     return color
 
 
-def decompose(conns: Iterable[tuple[int, int]], n: int) -> list[ConfigMatrix]:
-    """Split a connection set into Δ conflict-free configurations.
+def _scaled_weights(
+    edges: list[tuple[int, int]],
+    demand: Mapping[tuple[int, int], int] | None,
+    max_weight: int,
+) -> dict[tuple[int, int], int]:
+    """Slot shares per edge: demand scaled to ``[1, max_weight]``, gcd-reduced.
 
-    The returned list has exactly ``connection_degree(conns, n)`` entries,
-    each a valid partial permutation; their union is the input set.
+    The TDM counter repeats the loaded frame until its traffic drains, so
+    only the *ratio* of slots between edges matters; scaling caps the frame
+    length while keeping every edge at least one slot per frame.
+    """
+    if max_weight < 1:
+        raise ConfigurationError("max_weight must be at least 1")
+    raw = {e: int(demand.get(e, 1)) if demand else 1 for e in edges}
+    for e, d in raw.items():
+        if d < 0:
+            raise ConfigurationError(f"negative demand for connection {e}")
+    peak = max(raw.values(), default=0)
+    if peak <= 0:
+        return {e: 1 for e in edges}
+    weights = {
+        e: max(1, math.ceil(d * max_weight / peak)) for e, d in raw.items()
+    }
+    divisor = math.gcd(*weights.values())
+    return {e: w // divisor for e, w in weights.items()}
+
+
+def packed_decompose(
+    conns: Iterable[tuple[int, int]],
+    n: int,
+    demand: Mapping[tuple[int, int], int] | None = None,
+    max_weight: int = 8,
+) -> list[ConfigMatrix]:
+    """Weighted (Minaeva-style slot-packed) decomposition of a working set.
+
+    Each connection is replicated in proportion to ``demand`` (any unit —
+    bytes, slots; missing or zero-peak demand degenerates to plain edge
+    colouring) and the multigraph is Kempe-coloured.  The returned frame
+    has ``weighted_degree`` configurations; a connection carrying ``w``
+    shares appears in exactly ``w`` of them, so per-frame bandwidth tracks
+    demand and heavy edges stop serialising behind an uniform rotation.
     """
     edges = list(conns)
-    coloring = edge_color(edges, n)
-    delta = connection_degree(edges, n)
+    if len(set(edges)) != len(edges):
+        raise ConfigurationError("duplicate connections in the set")
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise ConfigurationError(f"connection ({u},{v}) out of range")
+    if not edges:
+        return []
+    weights = _scaled_weights(edges, demand, max_weight)
+    delta = weighted_degree(weights, n)
+    # heavy edges first: their replicas pin the tight ports before the
+    # light fill-in, which keeps the Kempe chains short (order never
+    # affects correctness, only constant factors)
+    order = sorted(edges, key=lambda e: (-weights[e], e))
+    instances = [e for e in order for _ in range(weights[e])]
+    in_match, _ = _kempe_assign(instances, n, delta)
     configs = [ConfigMatrix(n) for _ in range(delta)]
-    for (u, v), c in coloring.items():
-        configs[c].establish(u, v)
+    for u in range(n):
+        for c in range(delta):
+            v = int(in_match[u, c])
+            if v >= 0:
+                configs[c].establish(u, v)
     return configs
+
+
+def decompose(
+    conns: Iterable[tuple[int, int]],
+    n: int,
+    *,
+    coloring: str = "kempe",
+    demand: Mapping[tuple[int, int], int] | None = None,
+    max_weight: int = 8,
+) -> list[ConfigMatrix]:
+    """Split a connection set into conflict-free configurations.
+
+    With the default ``coloring="kempe"`` the returned list has exactly
+    ``connection_degree(conns, n)`` entries, each a valid partial
+    permutation, and their union is the input set.  ``coloring="packed"``
+    selects :func:`packed_decompose`: the list instead carries one entry
+    per weighted slot share (``demand`` sets the shares), so skewed
+    working sets get demand-proportional frames.
+    """
+    if coloring == "kempe":
+        edges = list(conns)
+        colors = edge_color(edges, n)
+        delta = connection_degree(edges, n)
+        configs = [ConfigMatrix(n) for _ in range(delta)]
+        for (u, v), c in colors.items():
+            configs[c].establish(u, v)
+        return configs
+    if coloring == "packed":
+        return packed_decompose(conns, n, demand=demand, max_weight=max_weight)
+    raise ConfigurationError(
+        f"unknown coloring {coloring!r}; choose 'kempe' or 'packed'"
+    )
 
 
 def verify_coloring(

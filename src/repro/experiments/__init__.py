@@ -1,6 +1,14 @@
 """Experiment drivers regenerating every table and figure of the paper."""
 
 from .common import DEFAULT_SEED, ExperimentPoint, figure4_schemes, measure
+from .compare import (
+    COMPARE_SCHEMES,
+    COMPARE_SIZES,
+    CompareResult,
+    CoverageRow,
+    coverage_rows,
+    run_compare,
+)
 from .faults import FAULT_RATES, FaultPoint, FaultsResult, run_faults
 from .figure4 import MESSAGE_SIZES, Figure4Result, figure4_patterns, run_figure4
 from .figure5 import DETERMINISM_SWEEP, Figure5Result, run_figure5
@@ -13,6 +21,12 @@ __all__ = [
     "ExperimentPoint",
     "figure4_schemes",
     "measure",
+    "COMPARE_SCHEMES",
+    "COMPARE_SIZES",
+    "CompareResult",
+    "CoverageRow",
+    "coverage_rows",
+    "run_compare",
     "FAULT_RATES",
     "FaultPoint",
     "FaultsResult",

@@ -30,6 +30,7 @@ from ..faults.schedule import FaultSchedule
 from ..networks.base import RunResult
 from ..networks.registry import RunSpec, build_network, get_scheme
 from ..params import PAPER_PARAMS, SystemParams
+from ..sim.fastpath import MULTI_SWITCH_FALLBACK
 from ..sim.rng import RngStreams
 from ..traffic.base import TrafficPhase
 from ..types import Message
@@ -102,6 +103,11 @@ class ScaleoutPoint:
     recovery_mean_ps: int
     recovery_max_ps: int
     events: int
+    #: 1 when fast mode was requested but the cell ran the event path.
+    #: Summary-only (``format``): the CSV must stay byte-identical between
+    #: fast and non-fast invocations — that identity *is* the fallback's
+    #: correctness contract, checked in CI.
+    fastpath_fallbacks: int = 0
 
     @property
     def slot_utilization(self) -> float:
@@ -208,6 +214,7 @@ def run_scaleout_cell(cell: ScaleoutCell) -> ScaleoutPoint:
         recovery_mean_ps=sum(recoveries) // max(1, len(recoveries)),
         recovery_max_ps=max(recoveries, default=0),
         events=c["events"],
+        fastpath_fallbacks=c.get("fastpath_fallback", 0),
     )
 
 
@@ -250,6 +257,12 @@ class ScaleoutResult:
                 f"{p.diameter:>4} {p.est_mean_ps // 1000:>11} "
                 f"{p.est_max_ps // 1000:>10} {p.slot_utilization:>9.3f} "
                 f"{p.recovery_mean_ps // 1000:>13} {p.dropped:>7}"
+            )
+        fallbacks = sum(p.fastpath_fallbacks for p in self.points)
+        if fallbacks:
+            out.append(
+                f"fast mode: {fallbacks}/{len(self.points)} cells fell back "
+                f"to the event path ({MULTI_SWITCH_FALLBACK})"
             )
         return "\n".join(out)
 

@@ -8,6 +8,7 @@ network classes directly; see ``docs/architecture.md``.
 from .base import BaseNetwork, PhaseResult, RunResult
 from .circuit import CircuitNetwork
 from .ideal import IdealNetwork, bottleneck_lower_bound_ps
+from .islip import IslipNetwork
 from .lifecycle import ConnectionManager, LifecycleClient
 from .multihop import HopComparison, MultiHopModel
 from .registry import (
@@ -32,6 +33,7 @@ __all__ = [
     "RunResult",
     "CircuitNetwork",
     "IdealNetwork",
+    "IslipNetwork",
     "bottleneck_lower_bound_ps",
     "ConnectionManager",
     "LifecycleClient",

@@ -68,7 +68,7 @@ from ..params import SystemParams
 from ..sched.priority import RoundRobinPriority
 from ..sched.scheduler import Scheduler
 from ..sim.engine import Priority
-from ..sim.fastpath import fast_from_env
+from ..sim.fastpath import fast_from_env, fastpath_ineligible
 from ..sim.trace import Tracer
 from ..topo import Topology
 from ..traffic.base import TrafficPhase
@@ -940,9 +940,10 @@ class MultiSwitchTdmNetwork(BaseNetwork):
         out["slot_opportunities"] = self._slot_opportunities
         out["slot_idle_ticks"] = self._slot_idle_ticks
         out["spurious_grants"] = self._spurious_grants
-        if self.fast:
+        if self.fast and fastpath_ineligible(self) is not None:
             # the slot-synchronous fast path never engages for multi-switch
             # fabrics; the fallback is explicit, never a silent wrong path
+            # (the reason string is fastpath_ineligible(self))
             out["fastpath_fallback"] = 1
         agg: dict[str, int] = {}
         for sched in self.schedulers:

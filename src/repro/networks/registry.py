@@ -35,6 +35,7 @@ from ..topo import Topology, fat_tree, full_mesh
 from .base import BaseNetwork, RunResult
 from .circuit import CircuitNetwork
 from .ideal import IdealNetwork
+from .islip import IslipNetwork
 from .multiswitch import MultiSwitchTdmNetwork
 from .tdm import TdmNetwork
 from .wormhole import WormholeNetwork
@@ -235,6 +236,39 @@ def _tdm_factory(mode: str) -> SchemeFactory:
     return make
 
 
+def _make_islip(spec: RunSpec) -> BaseNetwork:
+    if spec.faults is not None:
+        raise ConfigurationError(
+            "the islip baseline does not model fault recovery"
+        )
+    return IslipNetwork(
+        spec.params,
+        tracer=spec.tracer,
+        strict=spec.strict,
+        max_wall_s=spec.max_wall_s,
+        **spec.options,
+    )
+
+
+def _make_solstice_tdm(spec: RunSpec) -> BaseNetwork:
+    """Pure-preload TDM whose program comes from the Solstice computer."""
+    options = dict(spec.options)
+    options.setdefault("schedule_computer", "solstice")
+    return TdmNetwork(
+        spec.params,
+        k=spec.k,
+        mode="preload",
+        k_preload=spec.k_preload,
+        injection_window=spec.injection_window,
+        tracer=spec.tracer,
+        faults=spec.faults,
+        fast=spec.fast,
+        strict=spec.strict,
+        max_wall_s=spec.max_wall_s,
+        **options,
+    )
+
+
 def _multiswitch_factory(
     label: str, build_topology: Callable[[RunSpec], Topology]
 ) -> SchemeFactory:
@@ -346,6 +380,27 @@ register_scheme(
     _make_ideal,
     capabilities=SchemeCapabilities(
         description="contention-free bottleneck bound (efficiency denominator)",
+    ),
+)
+register_scheme(
+    "islip",
+    _make_islip,
+    capabilities=SchemeCapabilities(
+        description="iterative VOQ matching, per-slot (Tiny Tera baseline)",
+        fault_recovery=False,  # reactive per-slot matching: nothing to recover
+    ),
+)
+register_scheme(
+    "solstice-tdm",
+    _make_solstice_tdm,
+    aliases=("solstice",),
+    capabilities=SchemeCapabilities(
+        description="preload TDM fed by Solstice-style demand-ranked schedules",
+        tdm_modes=("preload",),
+        fault_recovery=True,
+        request_plane=True,
+        injection_window=True,
+        preload=True,
     ),
 )
 register_scheme(

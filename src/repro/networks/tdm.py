@@ -36,10 +36,12 @@ from collections import deque
 
 import numpy as np
 
+from ..compiled.coloring import decompose
 from ..compiled.directives import PreloadProgram
 from ..compiled.patterns import StaticPattern
 from ..errors import ConfigurationError, SchedulingError
 from ..faults.injector import FaultInjector
+from ..fabric.config import ConfigMatrix
 from ..fabric.crossbar import Crossbar
 from ..fabric.timing import FabricTiming
 from ..params import SystemParams
@@ -50,6 +52,7 @@ from ..sched.multislot import QueueDepthBoostPolicy
 from ..sched.multiunit import MultiUnitScheduler
 from ..sched.priority import RotationPolicy, RoundRobinPriority
 from ..sched.scheduler import Scheduler
+from ..sched.solstice import solstice_schedule
 from ..sim.engine import Priority
 from ..sim.fastpath import FastPath, fast_from_env, fastpath_ineligible
 from ..sim.trace import Tracer
@@ -83,6 +86,8 @@ class TdmNetwork(BaseNetwork):
         skip_idle_slots: bool = True,
         prefetcher: MarkovPrefetcher | None = None,
         fabric_constraint: FabricConstraint | None = None,
+        schedule_computer: str = "coloring",
+        coloring: str = "kempe",
         faults: FaultInjector | None = None,
         fast: bool | None = None,
         strict: bool | None = None,
@@ -149,6 +154,22 @@ class TdmNetwork(BaseNetwork):
             raise ConfigurationError(
                 "fabric constraints and multiple SL units are mutually exclusive"
             )
+        if schedule_computer not in ("coloring", "solstice"):
+            raise ConfigurationError(
+                f"schedule_computer must be 'coloring' or 'solstice', "
+                f"got {schedule_computer!r}"
+            )
+        if coloring not in ("kempe", "packed"):
+            raise ConfigurationError(
+                f"coloring must be 'kempe' or 'packed', got {coloring!r}"
+            )
+        #: how the preload compiler turns a phase's static connections into
+        #: configurations: the paper's edge colouring, or the Solstice-style
+        #: demand-ranked extraction (sched/solstice.py)
+        self.schedule_computer = schedule_computer
+        #: decomposition flavour for the colouring computer: "kempe" is the
+        #: paper's exact-Δ frame, "packed" the demand-weighted variant
+        self.coloring = coloring
         self.scheme = f"tdm-{mode}"
         #: slot-synchronous fast execution (repro.sim.fastpath) — byte-
         #: identical to the event path; irregular runs fall back per run
@@ -410,7 +431,18 @@ class TdmNetwork(BaseNetwork):
             for slot in list(regs.pinned):
                 regs.clear_slot(slot)
             return
-        self._program = PreloadProgram.compile(static, self.k_preload)
+        configs = self._compute_schedule(static, phase)
+        if configs is None:
+            self._program = PreloadProgram.compile(static, self.k_preload)
+        else:
+            self._program = PreloadProgram(
+                n=self.params.n_ports,
+                k_preload=self.k_preload,
+                batches=[
+                    configs[i : i + self.k_preload]
+                    for i in range(0, len(configs), self.k_preload)
+                ],
+            )
         self._batch_idx = 0
         self._load_batch(self._batch_idx, self._program_gen)
         if self.mode == "preload" and phase.dynamic_conns():
@@ -419,6 +451,38 @@ class TdmNetwork(BaseNetwork):
                 f"in phase {phase.name!r}: {len(phase.dynamic_conns())} "
                 f"dynamic connections; use hybrid mode"
             )
+
+    def _static_demand(self, phase: TrafficPhase) -> dict[tuple[int, int], int]:
+        """Bytes offered per statically-known connection of the phase."""
+        demand: dict[tuple[int, int], int] = {
+            (u, v): 0 for u, v in phase.static_conns
+        }
+        for msg in phase.messages:
+            key = (msg.src, msg.dst)
+            if key in demand:
+                demand[key] += msg.size
+        return demand
+
+    def _compute_schedule(
+        self, static: StaticPattern, phase: TrafficPhase
+    ) -> "list[ConfigMatrix] | None":
+        """Run the configured schedule computer over the static working set.
+
+        Returns the ordered configurations, or None for the default
+        (paper's exact-Δ Kempe colouring, compiled by the pattern itself).
+        """
+        if self.schedule_computer == "solstice":
+            demand = self._static_demand(phase)
+            return [cfg for cfg, _ in solstice_schedule(demand, self.params.n_ports)]
+        if self.coloring != "kempe":
+            demand = self._static_demand(phase)
+            return decompose(
+                static.conns,
+                self.params.n_ports,
+                coloring=self.coloring,
+                demand=demand,
+            )
+        return None
 
     def _load_batch(self, index: int, generation: int) -> None:
         """Load batch ``index`` into the pinned registers."""

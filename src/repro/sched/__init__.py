@@ -12,6 +12,7 @@ from .priority import (
 )
 from .scheduler import Scheduler, SchedulerPass
 from .slarray import PassOutcome, Toggle, wavefront_reference, wavefront_sparse
+from .solstice import schedule_coverage, solstice_schedule
 from .tdm import TdmCounter
 
 __all__ = [
@@ -31,5 +32,7 @@ __all__ = [
     "Toggle",
     "wavefront_reference",
     "wavefront_sparse",
+    "schedule_coverage",
+    "solstice_schedule",
     "TdmCounter",
 ]

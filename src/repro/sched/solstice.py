@@ -1,0 +1,94 @@
+"""Solstice-style schedule computation for the preload register file.
+
+Plain edge colouring (``compiled/coloring.py``) minimises the *number* of
+configurations but is demand-blind: the connection order inside the frame
+is whatever the Kempe chains produce, so a register file of ``k`` slots
+holds an arbitrary slice of the working set while a batch plays.  Solstice
+("Costly Circuits, Submodular Schedules", PAPERS.md) instead extracts
+high-*coverage* permutations from the byte demand matrix, heaviest first.
+
+:func:`solstice_schedule` adapts the algorithm to this repo's batch-hold
+preload semantics (a loaded batch serves its connections to completion
+before the next load, so durations are implicit): each round picks a
+power-of-two threshold from the peak remaining demand, matches the
+eligible heavy connections first, then *stuffs* the leftover ports with
+lighter ones so no crossbar bandwidth idles — and the round's connections
+leave the demand matrix for good.  Every connection appears in exactly one
+configuration, the rounds are sorted by the demand they realise, and a
+``k``-deep register file therefore holds the highest-coverage prefix at
+every batch.  :func:`schedule_coverage` scores such a prefix — the metric
+the bake-off uses to compare schedule computers on skewed demand.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from ..errors import ConfigurationError
+from ..fabric.config import ConfigMatrix
+
+__all__ = ["solstice_schedule", "schedule_coverage"]
+
+
+def solstice_schedule(
+    demand: Mapping[tuple[int, int], int], n: int
+) -> list[tuple[ConfigMatrix, int]]:
+    """Greedily extract high-coverage permutations from a demand matrix.
+
+    ``demand`` maps connections to a nonnegative volume (any unit — bytes,
+    slots).  Returns ``(config, covered)`` pairs in extraction order,
+    where ``covered`` is the demand the round realises (the submodular
+    gain that ranked it).  Zero-demand connections are scheduled too —
+    after all positive demand, so they cost the coverage prefix nothing —
+    which keeps the schedule a full decomposition of the connection set.
+    """
+    remaining: dict[tuple[int, int], int] = {}
+    for (u, v), d in demand.items():
+        if not (0 <= u < n and 0 <= v < n):
+            raise ConfigurationError(f"connection ({u},{v}) out of range")
+        if d < 0:
+            raise ConfigurationError(f"negative demand for connection ({u},{v})")
+        remaining[(u, v)] = int(d)
+    schedule: list[tuple[ConfigMatrix, int]] = []
+    while remaining:
+        peak = max(remaining.values())
+        threshold = 1 << (peak.bit_length() - 1) if peak > 0 else 0
+        in_used = [False] * n
+        out_used = [False] * n
+        matched: list[tuple[int, int]] = []
+        # heaviest-first over eligible edges, then stuffing: the same
+        # greedy pass with the threshold dropped fills idle ports
+        for lo, hi in ((threshold, peak), (0, threshold - 1)):
+            for e in sorted(remaining, key=lambda e: (-remaining[e], e)):
+                u, v = e
+                if lo <= remaining[e] <= hi and not (in_used[u] or out_used[v]):
+                    in_used[u] = True
+                    out_used[v] = True
+                    matched.append(e)
+        covered = sum(remaining[e] for e in matched)
+        schedule.append((ConfigMatrix.from_pairs(n, matched), covered))
+        for e in matched:
+            del remaining[e]
+    return schedule
+
+
+def schedule_coverage(
+    configs: Sequence[ConfigMatrix],
+    demand: Mapping[tuple[int, int], int],
+    budget: int | None = None,
+) -> float:
+    """Fraction of demand on connections realised by a schedule prefix.
+
+    Scores the first ``budget`` configurations (all of them when None) —
+    the contents of a ``budget``-deep register file after its first load.
+    Returns 1.0 for empty demand.
+    """
+    window = configs if budget is None else configs[:budget]
+    realised: set[tuple[int, int]] = set()
+    for cfg in window:
+        realised.update((u, v) for u, v in cfg.connections())
+    total = sum(max(0, d) for d in demand.values())
+    if total == 0:
+        return 1.0
+    covered = sum(d for e, d in demand.items() if d > 0 and e in realised)
+    return covered / total

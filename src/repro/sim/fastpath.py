@@ -59,7 +59,7 @@ into the event valve exactly like the event path does.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, cast
 
 import numpy as np
 
@@ -70,16 +70,22 @@ from ..types import MessageRecord
 from .engine import Event, Priority
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (tdm imports us)
+    from ..networks.base import BaseNetwork
     from ..networks.tdm import TdmNetwork
     from ..nic.queues import DrainedMessage
     from ..types import Message
 
 __all__ = [
     "FAST_ENV_VAR",
+    "MULTI_SWITCH_FALLBACK",
     "fast_from_env",
     "fastpath_ineligible",
     "FastPath",
 ]
+
+#: the fallback reason for composite fabrics — shared with the multi-switch
+#: network's counters and the scaleout summary so the three always agree
+MULTI_SWITCH_FALLBACK = "multi-switch fabric is scheduled per hop"
 
 #: environment variable that turns slot-synchronous execution on globally
 #: (the CLI's ``--fast`` sets it so worker processes inherit the mode)
@@ -95,21 +101,26 @@ def fast_from_env() -> bool:
     return os.environ.get(FAST_ENV_VAR, "") not in ("", "0")
 
 
-def fastpath_ineligible(net: "TdmNetwork") -> str | None:
+def fastpath_ineligible(net: "BaseNetwork") -> str | None:
     """Why ``net``'s current run cannot use the fast path (None: it can).
 
-    The fast path services exactly the regular core of the model: a plain
-    single-unit :class:`~repro.sched.scheduler.Scheduler` with no tracing
-    and no fault campaign.  Everything else — fault injection with its
-    watchdog windows, multi-unit or fabric-constrained schedulers, event
-    tracing — falls back to the event-driven path, which remains the
-    single source of truth.
+    The fast path services exactly the regular core of the model: one
+    crossbar driven by a plain single-unit
+    :class:`~repro.sched.scheduler.Scheduler` with no tracing and no fault
+    campaign.  Everything else — multi-switch fabrics with their per-hop
+    trunk scheduling, fault injection with its watchdog windows, multi-unit
+    or fabric-constrained schedulers, event tracing — falls back to the
+    event-driven path, which remains the single source of truth.  The
+    returned reason is always a nonempty string, fit for a CLI summary.
     """
+    if not net.topology.is_single_switch:
+        return MULTI_SWITCH_FALLBACK
     if net.tracer.enabled:
         return "event tracing is enabled"
     if net._faults_active:
         return "a fault schedule is active"
-    if type(net.scheduler) is not Scheduler:
+    tdm = cast("TdmNetwork", net)
+    if type(tdm.scheduler) is not Scheduler:
         return "non-plain scheduler (multi-unit or fabric-constrained)"
     return None
 

@@ -11,7 +11,9 @@ from repro.compiled.coloring import (
     connection_degree,
     decompose,
     edge_color,
+    packed_decompose,
     verify_coloring,
+    weighted_degree,
 )
 from repro.errors import ConfigurationError
 
@@ -119,6 +121,101 @@ def test_property_coloring_proper_and_optimal(conns):
     delta = connection_degree(conns, n)
     if conns:
         assert max(col.values()) + 1 <= delta  # König: never more than Δ
+
+
+@st.composite
+def dense_asymmetric_sets(draw, n=8):
+    """Dense connection sets biased toward high, *lopsided* degrees —
+    a few hub ports carrying Δ >= 4 while the rest stay sparse.  This is
+    the regime where the Kempe chain has to walk long alternating paths
+    through the hubs; the corpus pins the recolouring there."""
+    hubs = draw(st.lists(st.integers(0, n - 1), min_size=1, max_size=3, unique=True))
+    conns = set()
+    for hub in hubs:
+        outs = draw(
+            st.sets(st.integers(0, n - 1), min_size=4, max_size=n)
+        )
+        conns |= {(hub, v) for v in outs}
+        ins = draw(
+            st.sets(st.integers(0, n - 1), min_size=4, max_size=n)
+        )
+        conns |= {(u, hub) for u in ins}
+    extra = draw(
+        st.sets(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=n * 2,
+        )
+    )
+    return sorted(conns | extra)
+
+
+@settings(max_examples=200, deadline=None)
+@given(dense_asymmetric_sets())
+def test_property_dense_asymmetric_kempe(conns):
+    """Δ >= 4 hub-heavy graphs colour properly with exactly Δ colours."""
+    n = 8
+    col = edge_color(conns, n)
+    assert verify_coloring(col, conns)
+    delta = connection_degree(conns, n)
+    assert delta >= 4
+    assert max(col.values()) + 1 == delta
+
+
+class TestPackedDecompose:
+    def test_empty(self):
+        assert packed_decompose([], 4) == []
+        assert decompose([], 4, coloring="packed") == []
+
+    def test_unweighted_matches_plain_coverage(self):
+        conns = [(0, 1), (1, 2), (2, 0), (0, 2)]
+        configs = packed_decompose(conns, 3)
+        union = set()
+        for cfg in configs:
+            cfg.check_invariants()
+            union |= {tuple(c) for c in cfg.connections()}
+        assert union == set(conns)
+
+    def test_heavy_edges_replicated(self):
+        """An edge with dominant demand occupies most configurations."""
+        conns = [(0, 1), (0, 2), (1, 0)]
+        demand = {(0, 1): 800, (0, 2): 100, (1, 0): 100}
+        configs = packed_decompose(conns, 3, demand=demand, max_weight=8)
+        hits = sum((0, 1) in {tuple(c) for c in cfg.connections()} for cfg in configs)
+        assert hits >= len(configs) // 2
+        # every edge still appears at least once
+        union = set()
+        for cfg in configs:
+            union |= {tuple(c) for c in cfg.connections()}
+        assert union == set(conns)
+
+    def test_length_is_weighted_degree(self):
+        conns = [(0, 1), (0, 2)]
+        demand = {(0, 1): 300, (0, 2): 100}
+        configs = packed_decompose(conns, 3, demand=demand, max_weight=4)
+        # scaled to {4, 2}, gcd-reduced to {2, 1}: port 0 carries 3 shares
+        weights = {(0, 1): 2, (0, 2): 1}
+        assert weighted_degree(weights, 3) == 3
+        assert len(configs) == 3
+
+    def test_unknown_coloring_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decompose([(0, 1)], 4, coloring="rainbow")
+
+    @settings(max_examples=100, deadline=None)
+    @given(connection_sets())
+    def test_property_packed_valid_and_covering(self, conns):
+        """Packed configs are valid partial permutations covering every
+        edge at least once, with the plain contract left untouched."""
+        n = 10
+        demand = {e: (i % 7 + 1) * 10 for i, e in enumerate(sorted(conns))}
+        configs = decompose(conns, n, coloring="packed", demand=demand)
+        union = set()
+        for cfg in configs:
+            cfg.check_invariants()
+            union |= {tuple(c) for c in cfg.connections()}
+        assert union == set(conns)
+        # the exact-Δ contract of the default path is unchanged
+        assert len(decompose(conns, n)) == connection_degree(conns, n)
 
 
 @settings(max_examples=50, deadline=None)

@@ -78,6 +78,27 @@ class TestLatencySummary:
         summary = summarize_latencies(IdealNetwork(params).run(phases))
         assert "p99" in str(summary)
 
+    def test_empty_run_every_field_finite(self, params):
+        """Regression: an empty record list must yield an all-zero digest,
+        never a -inf maximum or a NaN quantile leaking out of the
+        accumulators, and the digest must still format."""
+        import math
+
+        phases = ScatterPattern(8, 64).phases(RngStreams(0))
+        result = IdealNetwork(params).run(phases)
+        result.records.clear()
+        summary = summarize_latencies(result)
+        for value in (
+            summary.mean_ns,
+            summary.p50_ns,
+            summary.p99_ns,
+            summary.max_ns,
+            summary.mean_service_ns,
+        ):
+            assert math.isfinite(value)
+            assert value == 0.0
+        assert "n=0" in str(summary)
+
 
 class TestReportFormatting:
     def test_table_alignment(self):

@@ -145,6 +145,28 @@ class TestDeterminism:
         assert serial.points == fanned.points
         assert serial.csv() == fanned.csv()
 
+    def test_scaleout_fast_fallback_surfaced(self, monkeypatch):
+        """Fast mode on a multi-switch sweep falls back to the event path;
+        the summary says so (count + reason), the CSV stays byte-identical
+        — that identity is the fallback's correctness contract."""
+        from repro.experiments.scaleout import run_scaleout
+        from repro.sim.fastpath import FAST_ENV_VAR, MULTI_SWITCH_FALLBACK
+
+        kwargs = dict(
+            endpoints=(64,), messages_per_endpoint=2, cache=False,
+            faults=False, jobs=1,
+        )
+        monkeypatch.delenv(FAST_ENV_VAR, raising=False)
+        plain = run_scaleout(**kwargs)
+        assert "fast mode" not in plain.format()
+        monkeypatch.setenv(FAST_ENV_VAR, "1")
+        fast = run_scaleout(**kwargs)
+        assert fast.csv() == plain.csv()
+        summary = fast.format()
+        assert f"fast mode: {len(fast.points)}/{len(fast.points)}" in summary
+        assert MULTI_SWITCH_FALLBACK in summary
+        assert all(p.fastpath_fallbacks == 1 for p in fast.points)
+
 
 class TestConservationAndFaults:
     def test_all_messages_delivered_healthy(self):

@@ -63,6 +63,70 @@ class TestCommands:
         assert rc == 0
         assert "bytes,wormhole" in capsys.readouterr().out
 
+    def test_compare_subset(self, capsys):
+        rc = main(
+            [
+                "--ports",
+                "16",
+                "compare",
+                "--sizes",
+                "64",
+                "--patterns",
+                "scatter",
+                "--schemes",
+                "dynamic-tdm,islip",
+                "--no-cache",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ranking" in out and "islip" in out and "coverage" in out
+
+    def test_compare_csv(self, capsys):
+        rc = main(
+            [
+                "--ports",
+                "16",
+                "compare",
+                "--sizes",
+                "64",
+                "--patterns",
+                "scatter",
+                "--schemes",
+                "islip",
+                "--csv",
+                "--no-cache",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("pattern,scheme,bytes,")
+        assert "scatter,islip,64," in out
+
+    def test_compare_report_file(self, tmp_path, capsys):
+        out_file = tmp_path / "bakeoff.md"
+        rc = main(
+            [
+                "--ports",
+                "16",
+                "compare",
+                "--sizes",
+                "64",
+                "--patterns",
+                "scatter",
+                "--schemes",
+                "preload,solstice-tdm",
+                "--out",
+                str(out_file),
+                "--no-cache",
+            ]
+        )
+        assert rc == 0
+        assert "wrote bake-off report" in capsys.readouterr().out
+        text = out_file.read_text()
+        assert text.startswith("# Scheduler bake-off")
+        assert "solstice" in text
+
     def test_figure5(self, capsys):
         rc = main(
             [

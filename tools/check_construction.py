@@ -32,7 +32,13 @@ import sys
 from pathlib import Path
 
 SCHEME_CLASSES = frozenset(
-    {"TdmNetwork", "CircuitNetwork", "WormholeNetwork", "MultiSwitchTdmNetwork"}
+    {
+        "TdmNetwork",
+        "CircuitNetwork",
+        "WormholeNetwork",
+        "MultiSwitchTdmNetwork",
+        "IslipNetwork",
+    }
 )
 
 #: switch-graph constructors only the topo layer, the registry's composite
